@@ -1,0 +1,205 @@
+// Root benchmark harness: one Go benchmark per table and figure of the
+// paper's evaluation (§6). Each benchmark regenerates its artifact via
+// internal/bench and reports headline metrics; the formatted tables are
+// printed with -v.
+//
+// By default benchmarks run at the reduced ("small") workload scale so
+// `go test -bench=.` completes quickly. Set HAAC_BENCH_SCALE=paper to
+// run the §5 evaluation sizes (cmd/haacbench does this by default).
+package haac
+
+import (
+	"os"
+	"testing"
+
+	"haac/internal/bench"
+)
+
+func benchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	scale := bench.Small
+	if s := os.Getenv("HAAC_BENCH_SCALE"); s != "" {
+		var err error
+		scale, err = bench.ParseScale(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bench.NewEnv(scale)
+}
+
+func BenchmarkTable1PPCComparison(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = bench.Table1()
+	}
+	b.Log("\n" + s)
+}
+
+func BenchmarkTable2Characteristics(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			var gates float64
+			for _, r := range rows {
+				gates += r.GatesK
+			}
+			b.ReportMetric(gates, "kgates-total")
+		}
+	}
+}
+
+func BenchmarkTable3WireTraffic(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		_, s, err := e.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+		}
+	}
+}
+
+func BenchmarkTable4AreaPower(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		s, err := e.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+		}
+	}
+}
+
+func BenchmarkTable5PriorWork(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			wins := 0
+			for _, r := range rows {
+				if r.Speedup > 1 {
+					wins++
+				}
+			}
+			b.ReportMetric(float64(wins)/float64(len(rows)), "win-fraction")
+		}
+	}
+}
+
+func BenchmarkFig6CompilerSpeedups(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			gain := 0.0
+			for _, r := range rows {
+				gain += r.ESW / r.Baseline
+			}
+			b.ReportMetric(gain/float64(len(rows)), "avg-opt-gain-x")
+		}
+	}
+}
+
+func BenchmarkFig7OrderingSWWSweep(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		_, s, err := e.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+		}
+	}
+}
+
+func BenchmarkFig8GEScaling(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			var scale float64
+			for _, r := range rows {
+				scale += r.HBM2[len(r.HBM2)-1] / r.HBM2[0]
+			}
+			b.ReportMetric(scale/float64(len(rows)), "avg-1to16-scaling-x")
+		}
+	}
+}
+
+func BenchmarkFig9Energy(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			var eff float64
+			for _, r := range rows {
+				eff += r.EfficiencyKx
+			}
+			b.ReportMetric(eff/float64(len(rows)), "avg-efficiency-Kx")
+		}
+	}
+}
+
+func BenchmarkFig10PlaintextSlowdown(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		_, s, err := e.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+		}
+	}
+}
+
+func BenchmarkGarblerVsEvaluator(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		ratio, s, err := e.GarblerVsEvaluator()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			b.ReportMetric(ratio, "garbler/evaluator")
+		}
+	}
+}
+
+func BenchmarkRekeyingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		over, s := bench.RekeyingOverhead()
+		if i == 0 {
+			b.Log("\n" + s)
+			b.ReportMetric(over, "rekey-overhead-%")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Command haac-compile lowers a Boolean circuit to a HAAC program,
+// running the paper's optimization passes, and reports program and
+// traffic statistics. Circuits come either from a Bristol-format netlist
+// file (the EMP flow of Fig. 5) or from a built-in workload generator.
+//
+// Usage:
+//
+//	haac-compile -workload MatMult [-reorder full] [-esw] [-sww-mb 2] [-ges 16] [-o prog.haac]
+//	haac-compile -in netlist.txt -reorder seg -o prog.haac
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"haac/internal/circuit"
+	"haac/internal/compiler"
+	"haac/internal/isa"
+	"haac/internal/opt"
+	"haac/internal/workloads"
+)
+
+func main() {
+	in := flag.String("in", "", "Bristol netlist file")
+	workload := flag.String("workload", "", "built-in workload name (BubbSt, DotProd, Merse, Triangle, Hamm, MatMult, ReLU, GradDesc, or a micro benchmark)")
+	small := flag.Bool("small", false, "use reduced workload sizes")
+	reorder := flag.String("reorder", "full", "instruction schedule: baseline, full, or seg")
+	esw := flag.Bool("esw", true, "eliminate spent wires (live-bit optimization)")
+	swwMB := flag.Float64("sww-mb", 2, "sliding wire window size in MB")
+	ges := flag.Int("ges", 16, "number of gate engines")
+	garbler := flag.Bool("garbler", false, "schedule for the Garbler pipeline (21-stage) instead of the Evaluator (18)")
+	optimize := flag.Bool("optimize", false, "run netlist optimizations (constant folding, CSE, DCE) before compiling")
+	disasm := flag.Int("disasm", 0, "print a disassembly of the first N instructions")
+	out := flag.String("o", "", "output file for the serialized program")
+	flag.Parse()
+
+	c, name, err := loadCircuit(*in, *workload, *small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *optimize {
+		oc, res, err := opt.Optimize(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		c = oc
+	}
+
+	var mode compiler.ReorderMode
+	switch strings.ToLower(*reorder) {
+	case "baseline":
+		mode = compiler.Baseline
+	case "full":
+		mode = compiler.FullReorder
+	case "seg", "segment":
+		mode = compiler.SegmentReorder
+	default:
+		fmt.Fprintf(os.Stderr, "unknown reorder mode %q\n", *reorder)
+		os.Exit(2)
+	}
+
+	cfg := compiler.Config{
+		Reorder:         mode,
+		ESW:             *esw,
+		SWWWires:        int(*swwMB * 1024 * 1024 / 16),
+		NumGEs:          *ges,
+		GarblerPipeline: *garbler,
+	}
+	cp, err := compiler.Compile(c, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	s := c.ComputeStats()
+	p := &cp.Program
+	fmt.Printf("circuit   %s: %d gates (%.1f%% AND), %d levels, ILP %.0f\n",
+		name, s.Gates, s.ANDPercent, s.Levels, s.ILP)
+	fmt.Printf("program   %d instructions (%d AND), %d inputs, %d outputs\n",
+		len(p.Instrs), p.NumANDs(), p.NumInputs, len(p.OutputAddrs))
+	fmt.Printf("schedule  %s reorder, ESW=%v, %d GEs, %.3g MB SWW (%s pipeline)\n",
+		mode, *esw, *ges, *swwMB, party(*garbler))
+	fmt.Printf("traffic   live wires %d, OoR reads %d, spent %.2f%%\n",
+		cp.Traffic.LiveWires, cp.Traffic.OoRWires, cp.Traffic.SpentPercent())
+	for g, st := range cp.Streams {
+		if g < 4 || g == len(cp.Streams)-1 {
+			fmt.Printf("  GE%-2d  %d instrs, %d tables, %d OoRW entries\n",
+				g, len(st), cp.TablesPerGE[g], len(cp.OoRW[g]))
+		} else if g == 4 {
+			fmt.Printf("  ...\n")
+		}
+	}
+
+	if *disasm > 0 {
+		if err := isa.Disassemble(os.Stdout, p, *disasm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		n, err := p.WriteTo(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, n)
+	}
+}
+
+func party(garbler bool) string {
+	if garbler {
+		return "Garbler"
+	}
+	return "Evaluator"
+}
+
+func loadCircuit(in, workload string, small bool) (*circuit.Circuit, string, error) {
+	switch {
+	case in != "" && workload != "":
+		return nil, "", fmt.Errorf("use either -in or -workload, not both")
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		c, err := circuit.ReadBristol(f)
+		return c, in, err
+	case workload != "":
+		w, err := findWorkload(workload, small)
+		if err != nil {
+			return nil, "", err
+		}
+		return w.Build(), w.Name, nil
+	}
+	return nil, "", fmt.Errorf("one of -in or -workload is required")
+}
+
+func findWorkload(name string, small bool) (workloads.Workload, error) {
+	suite := workloads.VIPSuite()
+	if small {
+		suite = workloads.VIPSuiteSmall()
+	}
+	suite = append(suite, workloads.MicroSuite()...)
+	for _, w := range suite {
+		if strings.EqualFold(w.Name, name) {
+			return w, nil
+		}
+	}
+	var names []string
+	for _, w := range suite {
+		names = append(names, w.Name)
+	}
+	return workloads.Workload{}, fmt.Errorf("unknown workload %q; available: %s", name, strings.Join(names, ", "))
+}

@@ -1,0 +1,114 @@
+// Command haac-run executes a real two-party garbled-circuits
+// computation over TCP: one invocation plays the garbler (listening),
+// the other the evaluator (dialing). Labels for the evaluator's inputs
+// are delivered with Diffie-Hellman oblivious transfer; tables stream as
+// they are garbled.
+//
+// Example — the millionaires' problem on two terminals:
+//
+//	haac-run -role garbler   -listen :9000 -workload Million-8 -value 200
+//	haac-run -role evaluator -addr 127.0.0.1:9000 -workload Million-8 -value 150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"haac/internal/circuit"
+	"haac/internal/ot"
+	"haac/internal/proto"
+	"haac/internal/workloads"
+)
+
+func main() {
+	role := flag.String("role", "", "garbler or evaluator")
+	listen := flag.String("listen", ":9000", "garbler listen address")
+	addr := flag.String("addr", "127.0.0.1:9000", "evaluator dial address")
+	workload := flag.String("workload", "Million-8", "workload name (micro suite or small VIP suite)")
+	value := flag.Uint64("value", 0, "this party's integer input (packed little-endian into its input bits)")
+	otName := flag.String("ot", "dh", "oblivious transfer: dh, iknp, or insecure (benchmarks only)")
+	flag.Parse()
+
+	w, err := find(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	c := w.Build()
+
+	var otp ot.Protocol
+	switch strings.ToLower(*otName) {
+	case "dh":
+		otp = ot.DH
+	case "iknp":
+		otp = ot.IKNP
+	case "insecure":
+		otp = ot.Insecure
+	default:
+		fmt.Fprintf(os.Stderr, "unknown OT %q\n", *otName)
+		os.Exit(2)
+	}
+	opts := proto.Options{OT: otp}
+
+	var conn net.Conn
+	switch strings.ToLower(*role) {
+	case "garbler":
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Printf("garbler: waiting for evaluator on %s (%s: %s)\n", *listen, w.Name, w.Description)
+		conn, err = ln.Accept()
+		if err != nil {
+			fatal(err)
+		}
+	case "evaluator":
+		var err error
+		conn, err = net.Dial("tcp", *addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("evaluator: connected to %s (%s)\n", *addr, w.Name)
+	default:
+		fmt.Fprintln(os.Stderr, "-role must be garbler or evaluator")
+		os.Exit(2)
+	}
+	defer conn.Close()
+
+	var out []bool
+	if strings.EqualFold(*role, "garbler") {
+		bits := circuit.UintToBools(*value, c.GarblerInputs)
+		out, err = proto.RunGarbler(conn, c, bits, opts)
+	} else {
+		bits := circuit.UintToBools(*value, c.EvaluatorInputs)
+		out, err = proto.RunEvaluator(conn, c, bits, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("result bits: %v\n", out)
+	fmt.Printf("result as integer: %d\n", circuit.BoolsToUint(out))
+}
+
+func find(name string) (workloads.Workload, error) {
+	suite := append(workloads.VIPSuiteSmall(), workloads.MicroSuite()...)
+	for _, w := range suite {
+		if strings.EqualFold(w.Name, name) {
+			return w, nil
+		}
+	}
+	var names []string
+	for _, w := range suite {
+		names = append(names, w.Name)
+	}
+	return workloads.Workload{}, fmt.Errorf("unknown workload %q; available: %s", name, strings.Join(names, ", "))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

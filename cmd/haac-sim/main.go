@@ -1,0 +1,168 @@
+// Command haac-sim compiles a workload (or Bristol netlist) and runs it
+// on the cycle-level HAAC model, reporting timing, traffic, stalls,
+// energy and the speedup over a software CPU baseline measured on this
+// host.
+//
+// Usage:
+//
+//	haac-sim -workload MatMult [-ges 16] [-sww-mb 2] [-dram hbm2] [-reorder full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"haac/internal/baseline"
+	"haac/internal/circuit"
+	"haac/internal/compiler"
+	"haac/internal/energy"
+	"haac/internal/gc"
+	"haac/internal/sim"
+	"haac/internal/workloads"
+)
+
+func main() {
+	in := flag.String("in", "", "Bristol netlist file")
+	workload := flag.String("workload", "", "built-in workload name")
+	small := flag.Bool("small", false, "use reduced workload sizes")
+	reorder := flag.String("reorder", "full", "baseline, full, or seg")
+	esw := flag.Bool("esw", true, "eliminate spent wires")
+	swwMB := flag.Float64("sww-mb", 2, "SWW size in MB")
+	ges := flag.Int("ges", 16, "gate engines")
+	dram := flag.String("dram", "ddr4", "ddr4 or hbm2")
+	garbler := flag.Bool("garbler", false, "Garbler pipeline instead of Evaluator")
+	noFwd := flag.Bool("no-forwarding", false, "disable the wire forwarding network (ablation)")
+	trace := flag.Int("trace", 0, "print a GE-occupancy heatmap with N time buckets")
+	reuse := flag.Bool("reuse", false, "print wire reuse-distance statistics")
+	flag.Parse()
+
+	c, name, err := loadCircuit(*in, *workload, *small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var mode compiler.ReorderMode
+	switch strings.ToLower(*reorder) {
+	case "baseline":
+		mode = compiler.Baseline
+	case "full":
+		mode = compiler.FullReorder
+	case "seg", "segment":
+		mode = compiler.SegmentReorder
+	default:
+		fmt.Fprintf(os.Stderr, "unknown reorder mode %q\n", *reorder)
+		os.Exit(2)
+	}
+
+	cfg := compiler.Config{
+		Reorder: mode, ESW: *esw,
+		SWWWires: int(*swwMB * 1024 * 1024 / 16),
+		NumGEs:   *ges, GarblerPipeline: *garbler,
+	}
+	cp, err := compiler.Compile(c, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	hw := sim.DefaultHW()
+	hw.NumGEs = cfg.NumGEs
+	hw.SWWWires = cfg.SWWWires
+	hw.Garbler = cfg.GarblerPipeline
+	hw.Forwarding = !*noFwd
+	switch strings.ToLower(*dram) {
+	case "ddr4":
+		hw.DRAM = sim.DDR4
+	case "hbm2":
+		hw.DRAM = sim.HBM2
+	default:
+		fmt.Fprintf(os.Stderr, "unknown DRAM %q\n", *dram)
+		os.Exit(2)
+	}
+
+	r, err := sim.Simulate(cp, hw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	s := c.ComputeStats()
+	fmt.Printf("workload     %s: %d gates (%.1f%% AND)\n", name, s.Gates, s.ANDPercent)
+	fmt.Printf("config       %d GEs, %.3g MB SWW, %s, %s pipeline, forwarding=%v, %s reorder, ESW=%v\n",
+		hw.NumGEs, *swwMB, hw.DRAM.Name, party(hw.Garbler), hw.Forwarding, mode, *esw)
+	fmt.Printf("time         %v  (%d cycles @ %.0f MHz)\n", r.Time(), r.TotalCycles, hw.GEClock/1e6)
+	fmt.Printf("  compute    %v  (%d cycles; %d data-stall checks, %d bank conflicts)\n",
+		r.ComputeTime(), r.ComputeCycles, r.DataStallCycles, r.BankConflicts)
+	fmt.Printf("  traffic    %d cycles total-stream, %d cycles wire-stream\n", r.TrafficCycles, r.WireTrafficCycles)
+	tr := r.Traffic
+	fmt.Printf("traffic      instr %.2f MB, tables %.2f MB, OoR %.2f MB, live %.2f MB, inputs %.2f MB\n",
+		mb(tr.InstrBytes), mb(tr.TableBytes), mb(tr.OoRBytes), mb(tr.LiveBytes), mb(tr.InputBytes))
+
+	fmt.Printf("GEs          %.0f%% utilized (compute phase), load imbalance %.2f\n",
+		100*r.Utilization(), r.LoadImbalance())
+
+	b := energy.Energy(r)
+	fmt.Printf("energy       %.3g J (avg %.2f W); half-gate %.0f%%, sram %.0f%%, dram %.0f%%\n",
+		b.Total(), energy.AveragePower(r),
+		100*b.Normalized().HalfGate, 100*b.Normalized().SRAM, 100*b.Normalized().DRAMPHY)
+	fmt.Printf("area         %.2f mm^2 (HAAC IP, 16 nm)\n", energy.AreaFor(hw.NumGEs, hw.SWWWires*16).Total())
+
+	cpu := baseline.MeasureCPU(gc.RekeyedHasher{}, !hw.Garbler)
+	cpuT := cpu.GCTime(s)
+	fmt.Printf("CPU GC       %v on this host (%.0f ns/AND, %.1f ns/XOR) -> speedup %.0fx\n",
+		cpuT, cpu.NsPerAND, cpu.NsPerXOR, cpuT.Seconds()/r.Time().Seconds())
+
+	if *reuse {
+		fmt.Println()
+		fmt.Println(cp.AnalyzeReuse([]int{hw.SWWWires / 4, hw.SWWWires, 4 * hw.SWWWires}))
+	}
+	if *trace > 0 {
+		_, tr, err := sim.SimulateTraced(cp, hw, *trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(tr.Render())
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / (1024 * 1024) }
+
+func party(garbler bool) string {
+	if garbler {
+		return "Garbler"
+	}
+	return "Evaluator"
+}
+
+func loadCircuit(in, workload string, small bool) (*circuit.Circuit, string, error) {
+	switch {
+	case in != "" && workload != "":
+		return nil, "", fmt.Errorf("use either -in or -workload, not both")
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		c, err := circuit.ReadBristol(f)
+		return c, in, err
+	case workload != "":
+		suite := workloads.VIPSuite()
+		if small {
+			suite = workloads.VIPSuiteSmall()
+		}
+		suite = append(suite, workloads.MicroSuite()...)
+		for _, w := range suite {
+			if strings.EqualFold(w.Name, workload) {
+				return w.Build(), w.Name, nil
+			}
+		}
+		return nil, "", fmt.Errorf("unknown workload %q", workload)
+	}
+	return nil, "", fmt.Errorf("one of -in or -workload is required")
+}

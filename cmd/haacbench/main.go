@@ -1,0 +1,120 @@
+// Command haacbench regenerates every table and figure of the HAAC
+// paper's evaluation (§6). By default it runs everything at the paper's
+// workload sizes; use -scale small for a quick pass and the per-
+// experiment flags to select subsets.
+//
+// Usage:
+//
+//	haacbench [-scale paper|small] [-experiments table2,fig6,...]
+//
+// Experiments: table1 table2 table3 table4 table5 fig6 fig7 fig8 fig9
+// fig10 garbler rekey (or "all").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"haac/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "paper", "workload scale: paper or small")
+	expFlag := flag.String("experiments", "all", "comma-separated experiment list (table1..table5, fig6..fig10, garbler, rekey, all)")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	env := bench.NewEnv(scale)
+	fmt.Printf("HAAC evaluation harness — scale=%s\n", scale)
+	fmt.Printf("==================================================\n\n")
+
+	run := func(name, title string, f func() (string, error)) {
+		if !sel(name) {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("## %s (%s)\n\n%s\n[%s in %v]\n\n", name, title, out, name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", "PPC technique comparison", func() (string, error) {
+		return bench.Table1(), nil
+	})
+	run("table2", "benchmark characteristics", func() (string, error) {
+		_, s, err := env.Table2()
+		return s, err
+	})
+	run("fig6", "compiler optimization speedups over CPU", func() (string, error) {
+		_, s, err := env.Fig6()
+		return s, err
+	})
+	run("table3", "wire traffic: segment vs full reorder", func() (string, error) {
+		_, s, err := env.Table3()
+		return s, err
+	})
+	run("fig7", "compute vs wire traffic across orderings and SWW sizes", func() (string, error) {
+		_, s, err := env.Fig7()
+		return s, err
+	})
+	run("fig8", "GE scaling with DDR4 and HBM2", func() (string, error) {
+		_, s, err := env.Fig8()
+		return s, err
+	})
+	run("table4", "area and power breakdown", func() (string, error) {
+		return env.Table4()
+	})
+	run("fig9", "energy breakdown and efficiency vs CPU", func() (string, error) {
+		_, s, err := env.Fig9()
+		return s, err
+	})
+	run("fig10", "slowdown vs plaintext", func() (string, error) {
+		_, s, err := env.Fig10()
+		return s, err
+	})
+	run("table5", "comparison to prior accelerators", func() (string, error) {
+		_, s, err := env.Table5()
+		return s, err
+	})
+	run("garbler", "Garbler vs Evaluator gap", func() (string, error) {
+		_, s, err := env.GarblerVsEvaluator()
+		return s, err
+	})
+	run("rekey", "re-keying overhead", func() (string, error) {
+		_, s := bench.RekeyingOverhead()
+		return s, nil
+	})
+	run("ablation", "design-choice ablations (forwarding, push OoR, SWW, banking)", func() (string, error) {
+		_, s, err := env.Ablations()
+		return s, err
+	})
+	run("multicore", "future work: multiple HAAC cores (§6.5)", func() (string, error) {
+		_, s, err := env.MultiCore()
+		return s, err
+	})
+	run("segsweep", "segment-size study (§4.2.1)", func() (string, error) {
+		_, s, err := env.SegmentSweep()
+		return s, err
+	})
+	run("coupling", "decoupled-model validation (finite queues vs max bound)", func() (string, error) {
+		_, s, err := env.Coupling()
+		return s, err
+	})
+}

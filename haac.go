@@ -1,0 +1,191 @@
+// Package haac is the public API of the HAAC reproduction: a garbled-
+// circuits stack (circuit builder, FreeXOR + re-keyed half-gates
+// garbling, two-party protocol) together with the HAAC accelerator
+// co-design from "HAAC: A Hardware-Software Co-Design to Accelerate
+// Garbled Circuits" (ISCA 2023) — the optimizing compiler (reordering,
+// renaming, eliminating spent wires, stream generation) and the
+// cycle-level accelerator simulator (gate engines, sliding wire window,
+// queues, DDR4/HBM2 streaming).
+//
+// Typical flows:
+//
+//	// Build a circuit and run it as a real two-party computation.
+//	b := haac.NewBuilder()
+//	x := b.GarblerInputs(32)
+//	y := b.EvaluatorInputs(32)
+//	b.OutputWord(b.Add(x, y))
+//	c := b.MustBuild()
+//	out, err := haac.Run2PC(c, garblerBits, evalBits)
+//
+//	// Compile the same circuit for the accelerator and estimate its
+//	// performance on the paper's 16-GE design.
+//	cp, err := haac.Compile(c, haac.DefaultCompilerConfig())
+//	res, err := haac.Simulate(cp, haac.DefaultHW())
+//	fmt.Println(res.Time())
+//
+// The examples/ directory contains runnable programs for both paths and
+// cmd/haacbench regenerates every table and figure of the paper.
+package haac
+
+import (
+	"fmt"
+	"net"
+
+	"haac/internal/builder"
+	"haac/internal/circuit"
+	"haac/internal/compiler"
+	"haac/internal/energy"
+	"haac/internal/gc"
+	"haac/internal/label"
+	"haac/internal/ot"
+	"haac/internal/proto"
+	"haac/internal/sim"
+	"haac/internal/workloads"
+)
+
+// Core circuit types.
+type (
+	// Circuit is the Boolean-circuit IR shared by garbling, compilation
+	// and simulation.
+	Circuit = circuit.Circuit
+	// Gate is one gate of a Circuit.
+	Gate = circuit.Gate
+	// Wire identifies a circuit wire.
+	Wire = circuit.Wire
+	// Stats summarizes a circuit (gate counts, depth, ILP — Table 2).
+	Stats = circuit.Stats
+	// Builder constructs circuits from word-level operations.
+	Builder = builder.B
+	// Word is a little-endian bit-vector value in the Builder.
+	Word = builder.Word
+	// Workload is a named benchmark circuit with input generator and
+	// native reference oracle.
+	Workload = workloads.Workload
+)
+
+// Compiler and simulator types.
+type (
+	// CompilerConfig selects reordering/renaming/ESW and the hardware
+	// shape the program is scheduled for.
+	CompilerConfig = compiler.Config
+	// ReorderMode selects Baseline, FullReorder or SegmentReorder.
+	ReorderMode = compiler.ReorderMode
+	// Compiled is a compiled HAAC program with its per-GE streams.
+	Compiled = compiler.Compiled
+	// HW is an accelerator configuration.
+	HW = sim.HW
+	// DRAM is a streaming memory model.
+	DRAM = sim.DRAM
+	// Result is a simulation outcome (cycles, traffic, events).
+	Result = sim.Result
+	// EnergyBreakdown is the per-component energy split of Fig. 9.
+	EnergyBreakdown = energy.Breakdown
+)
+
+// Reorder modes, re-exported.
+const (
+	Baseline       = compiler.Baseline
+	FullReorder    = compiler.FullReorder
+	SegmentReorder = compiler.SegmentReorder
+)
+
+// DRAM presets from the paper's methodology.
+var (
+	DDR4 = sim.DDR4
+	HBM2 = sim.HBM2
+)
+
+// NewBuilder returns an empty circuit builder.
+func NewBuilder() *Builder { return builder.New() }
+
+// DefaultCompilerConfig is the paper's headline compiler setting:
+// full reorder + renaming + ESW for a 16-GE, 2 MB-SWW Evaluator.
+func DefaultCompilerConfig() CompilerConfig { return compiler.DefaultConfig() }
+
+// DefaultHW is the paper's headline hardware: 16 GEs, 2 MB SWW,
+// 4 banks/GE, 1 GHz/2 GHz clocks, DDR4.
+func DefaultHW() HW { return sim.DefaultHW() }
+
+// Compile lowers a circuit to a HAAC program and runs the configured
+// optimization passes.
+func Compile(c *Circuit, cfg CompilerConfig) (*Compiled, error) {
+	return compiler.Compile(c, cfg)
+}
+
+// Simulate runs a compiled program on a hardware configuration.
+func Simulate(cp *Compiled, hw HW) (Result, error) { return sim.Simulate(cp, hw) }
+
+// EnergyOf prices a simulation result with the Table 4 energy model.
+func EnergyOf(r Result) EnergyBreakdown { return energy.Energy(r) }
+
+// AreaOf returns the accelerator area in mm^2 for a configuration.
+func AreaOf(hw HW) float64 {
+	return energy.AreaFor(hw.NumGEs, hw.SWWWires*16).Total()
+}
+
+// Eval evaluates a circuit on plaintext inputs (the functional model).
+func Eval(c *Circuit, garbler, evaluator []bool) ([]bool, error) {
+	return c.Eval(garbler, evaluator)
+}
+
+// GarbleAndEvaluate runs the whole garbled execution locally (garble,
+// encode, evaluate, decode) with the paper's re-keyed hash. It returns
+// the plaintext outputs and is the simplest way to check a circuit
+// under real garbling.
+func GarbleAndEvaluate(c *Circuit, garbler, evaluator []bool, seed uint64) ([]bool, error) {
+	if seed == 0 {
+		l, err := label.Rand()
+		if err != nil {
+			return nil, err
+		}
+		seed = l.Lo | 1
+	}
+	return gc.Run(c, gc.RekeyedHasher{}, seed, garbler, evaluator)
+}
+
+// Run2PC executes a real two-party computation over an in-memory
+// connection: the calling process plays both roles on separate
+// goroutines, with labels transferred via oblivious transfer. Useful
+// for tests and demos; for networked execution see RunGarbler and
+// RunEvaluator.
+func Run2PC(c *Circuit, garbler, evaluator []bool) ([]bool, error) {
+	ga, ev := net.Pipe()
+	defer ga.Close()
+	defer ev.Close()
+	opts := proto.Options{OT: ot.DH}
+	type res struct {
+		bits []bool
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		bits, err := proto.RunGarbler(ga, c, garbler, opts)
+		ch <- res{bits, err}
+	}()
+	out, err := proto.RunEvaluator(ev, c, evaluator, opts)
+	if err != nil {
+		return nil, err
+	}
+	gr := <-ch
+	if gr.err != nil {
+		return nil, fmt.Errorf("garbler: %w", gr.err)
+	}
+	return out, nil
+}
+
+// RunGarbler plays the garbler over conn (e.g. a TCP connection).
+func RunGarbler(conn net.Conn, c *Circuit, garblerBits []bool) ([]bool, error) {
+	return proto.RunGarbler(conn, c, garblerBits, proto.Options{OT: ot.DH})
+}
+
+// RunEvaluator plays the evaluator over conn.
+func RunEvaluator(conn net.Conn, c *Circuit, evalBits []bool) ([]bool, error) {
+	return proto.RunEvaluator(conn, c, evalBits, proto.Options{OT: ot.DH})
+}
+
+// VIPSuite returns the paper's eight VIP-Bench workloads at evaluation
+// scale; VIPSuiteSmall returns fast reduced-size variants.
+func VIPSuite() []Workload { return workloads.VIPSuite() }
+
+// VIPSuiteSmall returns reduced-size variants of the VIP workloads.
+func VIPSuiteSmall() []Workload { return workloads.VIPSuiteSmall() }

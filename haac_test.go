@@ -1,0 +1,153 @@
+package haac
+
+import (
+	"testing"
+)
+
+// Facade-level integration tests: exercise the public API exactly as the
+// README and examples present it.
+
+func TestFacadeBuildEvalGarble2PC(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(16)
+	y := b.EvaluatorInputs(16)
+	b.OutputWord(b.Add(x, y))
+	b.Output(b.GtU(x, y))
+	c := b.MustBuild()
+
+	g := bits(40000, 16)
+	e := bits(30000, 16)
+
+	plain, err := Eval(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbled, err := GarbleAndEvaluate(c, g, e, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secure, err := Run2PC(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if garbled[i] != plain[i] {
+			t.Fatalf("garbled bit %d != plaintext", i)
+		}
+		if secure[i] != plain[i] {
+			t.Fatalf("2PC bit %d != plaintext", i)
+		}
+	}
+	// 40000 + 30000 = 70000 mod 2^16 = 4464; 40000 > 30000.
+	if v := val(plain[:16]); v != 4464 {
+		t.Fatalf("sum = %d", v)
+	}
+	if !plain[16] {
+		t.Fatal("comparison wrong")
+	}
+}
+
+func TestFacadeCompileSimulate(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(32)
+	y := b.EvaluatorInputs(32)
+	b.OutputWord(b.Mul(x, y))
+	c := b.MustBuild()
+
+	cfg := DefaultCompilerConfig()
+	cfg.NumGEs = 4
+	cfg.SWWWires = 1024
+	cp, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := DefaultHW()
+	hw.NumGEs = 4
+	hw.SWWWires = 1024
+	res, err := Simulate(cp, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time() <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if EnergyOf(res).Total() <= 0 {
+		t.Fatal("no energy")
+	}
+	if AreaOf(hw) <= 0 || AreaOf(hw) >= AreaOf(DefaultHW()) {
+		t.Fatal("area scaling wrong")
+	}
+
+	// The HBM2 preset must never make things slower.
+	hw2 := hw
+	hw2.DRAM = HBM2
+	res2, err := Simulate(cp, hw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TotalCycles > res.TotalCycles {
+		t.Fatal("HBM2 slower than DDR4")
+	}
+}
+
+func TestFacadeSuites(t *testing.T) {
+	if len(VIPSuite()) != 8 || len(VIPSuiteSmall()) != 8 {
+		t.Fatal("VIP suites must have 8 workloads")
+	}
+	names := map[string]bool{}
+	for _, w := range VIPSuiteSmall() {
+		names[w.Name] = true
+	}
+	for _, want := range []string{"BubbSt", "DotProd", "Merse", "Triangle", "Hamm", "MatMult", "ReLU", "GradDesc"} {
+		if !names[want] {
+			t.Fatalf("missing workload %s", want)
+		}
+	}
+}
+
+func TestFacadeReorderModes(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(8)
+	y := b.EvaluatorInputs(8)
+	b.OutputWord(b.Mul(x, y))
+	c := b.MustBuild()
+	for _, mode := range []ReorderMode{Baseline, SegmentReorder, FullReorder} {
+		cfg := DefaultCompilerConfig()
+		cfg.Reorder = mode
+		cfg.NumGEs = 2
+		cfg.SWWWires = 64
+		cp, err := Compile(c.Clone(), cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		in, err := cp.InputBits(c, bits(200, 8), bits(3, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := cp.Execute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if val(out) != (200*3)&0xff {
+			t.Fatalf("%v: wrong product %d", mode, val(out))
+		}
+	}
+}
+
+func bits(v uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = v>>uint(i)&1 == 1
+	}
+	return out
+}
+
+func val(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

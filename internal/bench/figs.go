@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"haac/internal/baseline"
+	"haac/internal/compiler"
+	"haac/internal/energy"
+	"haac/internal/sim"
+)
+
+// ---------------------------------------------------------------------
+// Fig. 6: compiler-optimization speedups over the CPU.
+
+// Fig6Row holds the three bars for one benchmark: Baseline schedule,
+// RO+RN, RO+RN+ESW — speedups over the software CPU baseline
+// (Evaluator, 16 GEs, 2 MB SWW, DDR4).
+type Fig6Row struct {
+	Name                string
+	Baseline, RORN, ESW float64
+}
+
+// Fig6 runs the compiler-optimization study.
+func (e *Env) Fig6() ([]Fig6Row, string, error) {
+	cpuEval, _ := e.CPU()
+	var rows []Fig6Row
+	for _, w := range e.Scale.Suite() {
+		c := e.Circuit(w)
+		cpu := cpuEval.GCTime(c.ComputeStats()).Seconds()
+
+		speed := func(mode compiler.ReorderMode, esw, noSWW bool) (float64, error) {
+			cc := cfg(mode, esw, e.sww2MB(), 16, false)
+			cc.NoSWW = noSWW
+			r, _, err := runSim(c, cc, sim.DDR4)
+			if err != nil {
+				return 0, err
+			}
+			return cpu / r.Time().Seconds(), nil
+		}
+		// Green bar: the original (depth-first) program without
+		// renaming, so the SWW filters nothing (§6.1 groups RO+RN
+		// because "without renaming the SWW is ineffectual").
+		base, err := speed(compiler.Baseline, false, true)
+		if err != nil {
+			return nil, "", fmt.Errorf("fig6 %s: %w", w.Name, err)
+		}
+		rorn, err := speed(compiler.FullReorder, false, false)
+		if err != nil {
+			return nil, "", fmt.Errorf("fig6 %s: %w", w.Name, err)
+		}
+		esw, err := speed(compiler.FullReorder, true, false)
+		if err != nil {
+			return nil, "", fmt.Errorf("fig6 %s: %w", w.Name, err)
+		}
+		rows = append(rows, Fig6Row{Name: w.Name, Baseline: base, RORN: rorn, ESW: esw})
+	}
+	var out [][]string
+	var bases, rorns, esws []float64
+	for _, r := range rows {
+		out = append(out, []string{r.Name,
+			fmt.Sprintf("%.1f", r.Baseline), fmt.Sprintf("%.1f", r.RORN), fmt.Sprintf("%.1f", r.ESW)})
+		bases = append(bases, r.Baseline)
+		rorns = append(rorns, r.RORN)
+		esws = append(esws, r.ESW)
+	}
+	out = append(out, []string{"geomean",
+		fmt.Sprintf("%.1f", geomean(bases)), fmt.Sprintf("%.1f", geomean(rorns)), fmt.Sprintf("%.1f", geomean(esws))})
+	s := table([]string{"Benchmark", "Baseline x", "RO+RN x", "RO+RN+ESW x"}, out)
+	s += fmt.Sprintf("\n(paper: baseline avg 82.6x; RO+RN adds ~3.1x; ESW adds ~2.1x on memory-bound benchmarks)\n")
+	return rows, s, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7: compute vs wire-traffic time across orderings and SWW sizes.
+
+// Fig7Cell is one bar pair: compute-only and wire-traffic-only time.
+type Fig7Cell struct {
+	Order   compiler.ReorderMode
+	SWWMB   float64
+	Compute time.Duration
+	Wire    time.Duration
+}
+
+// Fig7Row is all cells for one benchmark.
+type Fig7Row struct {
+	Name  string
+	Cells []Fig7Cell
+}
+
+// Fig7 runs the ordering/SWW sweep for the paper's two exemplars
+// (MatMult: segment-friendly; BubbSt: full-reorder-friendly).
+func (e *Env) Fig7() ([]Fig7Row, string, error) {
+	sizes := []float64{0.5, 1, 2}
+	if e.Scale == Small {
+		sizes = []float64{0.5 / 256, 1.0 / 256, 2.0 / 256}
+	}
+	var rows []Fig7Row
+	for _, w := range e.Scale.Suite() {
+		if w.Name != "MatMult" && w.Name != "BubbSt" {
+			continue
+		}
+		c := e.Circuit(w)
+		row := Fig7Row{Name: w.Name}
+		for _, mode := range []compiler.ReorderMode{compiler.Baseline, compiler.SegmentReorder, compiler.FullReorder} {
+			for _, mb := range sizes {
+				r, _, err := runSim(c, cfg(mode, true, mb, 16, false), sim.DDR4)
+				if err != nil {
+					return nil, "", fmt.Errorf("fig7 %s: %w", w.Name, err)
+				}
+				row.Cells = append(row.Cells, Fig7Cell{
+					Order: mode, SWWMB: mb,
+					Compute: r.ComputeTime(), Wire: r.WireTrafficTime(),
+				})
+			}
+		}
+		rows = append(rows, row)
+	}
+	var out [][]string
+	for _, row := range rows {
+		for _, cl := range row.Cells {
+			out = append(out, []string{
+				row.Name, cl.Order.String(), fmt.Sprintf("%.4g", cl.SWWMB),
+				ms(cl.Compute), ms(cl.Wire),
+			})
+		}
+	}
+	return rows, table([]string{"Benchmark", "Order", "SWW (MB)", "Compute (ms)", "WireTraffic (ms)"}, out), nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8: GE scaling under DDR4 and HBM2.
+
+// Fig8Row holds speedups over the CPU for each GE count and DRAM.
+type Fig8Row struct {
+	Name string
+	GEs  []int
+	DDR4 []float64
+	HBM2 []float64
+}
+
+// Fig8 sweeps 1..16 GEs. DDR4 numbers use the better of segment/full
+// reordering per benchmark (as the paper does); HBM2 uses full reorder.
+func (e *Env) Fig8() ([]Fig8Row, string, error) {
+	cpuEval, _ := e.CPU()
+	geCounts := []int{1, 2, 4, 8, 16}
+	var rows []Fig8Row
+	for _, w := range e.Scale.Suite() {
+		c := e.Circuit(w)
+		cpu := cpuEval.GCTime(c.ComputeStats()).Seconds()
+		row := Fig8Row{Name: w.Name, GEs: geCounts}
+		for _, n := range geCounts {
+			best := 0.0
+			for _, mode := range []compiler.ReorderMode{compiler.SegmentReorder, compiler.FullReorder} {
+				r, _, err := runSim(c, cfg(mode, true, e.sww2MB(), n, false), sim.DDR4)
+				if err != nil {
+					return nil, "", fmt.Errorf("fig8 %s: %w", w.Name, err)
+				}
+				if s := cpu / r.Time().Seconds(); s > best {
+					best = s
+				}
+			}
+			row.DDR4 = append(row.DDR4, best)
+
+			r, _, err := runSim(c, cfg(compiler.FullReorder, true, e.sww2MB(), n, false), sim.HBM2)
+			if err != nil {
+				return nil, "", fmt.Errorf("fig8 %s: %w", w.Name, err)
+			}
+			row.HBM2 = append(row.HBM2, cpu/r.Time().Seconds())
+		}
+		rows = append(rows, row)
+	}
+	var out [][]string
+	for _, r := range rows {
+		for i, n := range r.GEs {
+			out = append(out, []string{r.Name, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1f", r.DDR4[i]), fmt.Sprintf("%.1f", r.HBM2[i])})
+		}
+	}
+	// Scaling summary (the paper: 12.3x geomean from 1->16 GEs on HBM2).
+	var scaling []float64
+	for _, r := range rows {
+		scaling = append(scaling, r.HBM2[len(r.HBM2)-1]/r.HBM2[0])
+	}
+	s := table([]string{"Benchmark", "GEs", "DDR4 x", "HBM2 x"}, out)
+	s += fmt.Sprintf("\nHBM2 1->16 GE scaling geomean: %.1fx (paper: 12.3x)\n", geomean(scaling))
+	return rows, s, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9: energy breakdown and efficiency vs CPU.
+
+// Fig9Row is the normalized energy split plus efficiency for one
+// benchmark (full reorder, HBM2, 16 GEs — as in the paper).
+type Fig9Row struct {
+	Name          string
+	Breakdown     energy.Breakdown // normalized
+	EfficiencyKx  float64          // vs CPU, in thousands
+	AvgPowerWatts float64
+}
+
+// Fig9 computes the energy analysis.
+func (e *Env) Fig9() ([]Fig9Row, string, error) {
+	cpuEval, _ := e.CPU()
+	var rows []Fig9Row
+	for _, w := range e.Scale.Suite() {
+		c := e.Circuit(w)
+		r, _, err := runSim(c, cfg(compiler.FullReorder, true, e.sww2MB(), 16, false), sim.HBM2)
+		if err != nil {
+			return nil, "", fmt.Errorf("fig9 %s: %w", w.Name, err)
+		}
+		cpuT := cpuEval.GCTime(c.ComputeStats())
+		rows = append(rows, Fig9Row{
+			Name:          w.Name,
+			Breakdown:     energy.Energy(r).Normalized(),
+			EfficiencyKx:  energy.EfficiencyVsCPU(r, cpuT) / 1e3,
+			AvgPowerWatts: energy.AveragePower(r),
+		})
+	}
+	var out [][]string
+	for _, r := range rows {
+		b := r.Breakdown
+		out = append(out, []string{r.Name,
+			fmt.Sprintf("%.0f%%", 100*b.HalfGate),
+			fmt.Sprintf("%.0f%%", 100*b.Crossbar),
+			fmt.Sprintf("%.0f%%", 100*b.SRAM),
+			fmt.Sprintf("%.0f%%", 100*b.Others),
+			fmt.Sprintf("%.0f%%", 100*b.DRAMPHY),
+			fmt.Sprintf("%.0f", r.EfficiencyKx),
+			fmt.Sprintf("%.2f", r.AvgPowerWatts),
+		})
+	}
+	return rows, table(
+		[]string{"Benchmark", "Half-Gate", "Crossbar", "SRAM", "Others", "HBM2 PHY", "Eff (Kx)", "Power (W)"},
+		out), nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10: slowdown vs plaintext.
+
+// Fig10Row holds slowdowns relative to native plaintext execution.
+type Fig10Row struct {
+	Name      string
+	Plaintext time.Duration
+	CPUGC     float64 // slowdown factors
+	HAACDDR4  float64
+	HAACHBM2  float64
+}
+
+// Fig10 measures plaintext natively and compares against CPU GC and the
+// two HAAC configurations (best reordering per benchmark, like Fig. 8).
+func (e *Env) Fig10() ([]Fig10Row, string, error) {
+	cpuEval, _ := e.CPU()
+	var rows []Fig10Row
+	for _, w := range e.Scale.Suite() {
+		w := w
+		c := e.Circuit(w)
+		g, ev := w.Inputs(1)
+		plain := baseline.TimePlain(func() { w.Reference(g, ev) })
+		cpu := cpuEval.GCTime(c.ComputeStats())
+
+		best := func(dram sim.DRAM) (time.Duration, error) {
+			var bt time.Duration
+			for _, mode := range []compiler.ReorderMode{compiler.SegmentReorder, compiler.FullReorder} {
+				r, _, err := runSim(c, cfg(mode, true, e.sww2MB(), 16, false), dram)
+				if err != nil {
+					return 0, err
+				}
+				if bt == 0 || r.Time() < bt {
+					bt = r.Time()
+				}
+			}
+			return bt, nil
+		}
+		ddr, err := best(sim.DDR4)
+		if err != nil {
+			return nil, "", fmt.Errorf("fig10 %s: %w", w.Name, err)
+		}
+		hbm, err := best(sim.HBM2)
+		if err != nil {
+			return nil, "", fmt.Errorf("fig10 %s: %w", w.Name, err)
+		}
+		rows = append(rows, Fig10Row{
+			Name:      w.Name,
+			Plaintext: plain,
+			CPUGC:     cpu.Seconds() / plain.Seconds(),
+			HAACDDR4:  ddr.Seconds() / plain.Seconds(),
+			HAACHBM2:  hbm.Seconds() / plain.Seconds(),
+		})
+	}
+	var out [][]string
+	var cpuS, ddrS, hbmS []float64
+	for _, r := range rows {
+		out = append(out, []string{r.Name, us(r.Plaintext),
+			fmt.Sprintf("%.3g", r.CPUGC), fmt.Sprintf("%.3g", r.HAACDDR4), fmt.Sprintf("%.3g", r.HAACHBM2)})
+		cpuS = append(cpuS, r.CPUGC)
+		ddrS = append(ddrS, r.HAACDDR4)
+		hbmS = append(hbmS, r.HAACHBM2)
+	}
+	s := table([]string{"Benchmark", "Plain (us)", "CPU GC x", "HAAC DDR4 x", "HAAC HBM2 x"}, out)
+	s += fmt.Sprintf("\nGeomean slowdown vs plaintext: CPU GC %.3g, HAAC DDR4 %.3g, HAAC HBM2 %.3g\n",
+		geomean(cpuS), geomean(ddrS), geomean(hbmS))
+	s += fmt.Sprintf("Implied HAAC speedup over CPU GC: DDR4 %.0fx (paper 589x), HBM2 %.0fx (paper 2627x)\n",
+		geomean(cpuS)/geomean(ddrS), geomean(cpuS)/geomean(hbmS))
+	return rows, s, nil
+}
+
+// ---------------------------------------------------------------------
+// §6.1 aside: Garbler vs Evaluator gap.
+
+// GarblerVsEvaluator compares HAAC Garbler and Evaluator runtimes
+// (paper: Garbler only 0.67% slower on HAAC vs 11.9% slower on CPU).
+func (e *Env) GarblerVsEvaluator() (float64, string, error) {
+	var ratios []float64
+	for _, w := range e.Scale.Suite() {
+		c := e.Circuit(w)
+		ev, _, err := runSim(c, cfg(compiler.FullReorder, true, e.sww2MB(), 16, false), sim.HBM2)
+		if err != nil {
+			return 0, "", err
+		}
+		ga, _, err := runSim(c, cfg(compiler.FullReorder, true, e.sww2MB(), 16, true), sim.HBM2)
+		if err != nil {
+			return 0, "", err
+		}
+		ratios = append(ratios, ga.Time().Seconds()/ev.Time().Seconds())
+	}
+	g := geomean(ratios)
+	return g, fmt.Sprintf("HAAC Garbler/Evaluator runtime ratio (geomean): %.4f (paper: 1.0067)\n", g), nil
+}

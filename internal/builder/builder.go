@@ -1,0 +1,291 @@
+// Package builder is the high-level circuit-construction frontend of the
+// repository, standing in for the EMP C++ toolkit in the paper's flow
+// (Fig. 5: C++ → EMP → Bristol → HAAC assembler). Programs are written
+// against Word (little-endian bit-vector) operations — adders,
+// multipliers, comparators, muxes, shifters, IEEE-754 binary32
+// arithmetic — and the builder lowers them to the AND/XOR/INV gate IR in
+// internal/circuit.
+//
+// Like EMP, the builder performs local constant folding and
+// double-negation elimination so that, e.g., masking with public
+// constants (Mersenne-Twister's tempering masks) costs no gates.
+package builder
+
+import (
+	"fmt"
+
+	"haac/internal/circuit"
+)
+
+// Wire aliases circuit.Wire for convenience.
+type Wire = circuit.Wire
+
+// internal builder wire-id space (remapped in Build):
+//
+//	0       const0
+//	1       const1
+//	2...    inputs and gate outputs, in allocation order
+const (
+	idConst0 Wire = 0
+	idConst1 Wire = 1
+)
+
+type inputDecl struct {
+	id      Wire
+	garbler bool
+}
+
+// B incrementally constructs a circuit.
+type B struct {
+	next   Wire
+	gates  []circuit.Gate
+	inputs []inputDecl
+
+	// known caches public-constant wires: present entries map a wire id
+	// to its fixed plaintext value, enabling folding.
+	known map[Wire]bool
+	// notOf caches the complement of a wire so NOT is emitted once and
+	// NOT(NOT(x)) folds to x.
+	notOf map[Wire]Wire
+
+	outputs   []Wire
+	usedConst bool
+	built     bool
+}
+
+// New returns an empty builder.
+func New() *B {
+	return &B{
+		next:  2, // 0,1 reserved for constants
+		known: map[Wire]bool{idConst0: false, idConst1: true},
+		notOf: map[Wire]Wire{idConst0: idConst1, idConst1: idConst0},
+	}
+}
+
+// NumGates returns the number of gates emitted so far.
+func (b *B) NumGates() int { return len(b.gates) }
+
+// GarblerInputs allocates n fresh garbler-owned input bits.
+func (b *B) GarblerInputs(n int) Word { return b.declInputs(n, true) }
+
+// EvaluatorInputs allocates n fresh evaluator-owned input bits.
+func (b *B) EvaluatorInputs(n int) Word { return b.declInputs(n, false) }
+
+func (b *B) declInputs(n int, garbler bool) Word {
+	w := make(Word, n)
+	for i := range w {
+		id := b.next
+		b.next++
+		b.inputs = append(b.inputs, inputDecl{id: id, garbler: garbler})
+		w[i] = id
+	}
+	return w
+}
+
+// Const returns the public constant wire for v.
+func (b *B) Const(v bool) Wire {
+	b.usedConst = true
+	if v {
+		return idConst1
+	}
+	return idConst0
+}
+
+// IsConst reports whether w is a public constant and its value.
+func (b *B) IsConst(w Wire) (bool, bool) {
+	v, ok := b.known[w]
+	return ok, v
+}
+
+func (b *B) emit(op circuit.Op, a, bb Wire) Wire {
+	c := b.next
+	b.next++
+	b.gates = append(b.gates, circuit.Gate{Op: op, A: a, B: bb, C: c})
+	return c
+}
+
+// XOR returns a ^ b, folding constants and duplicate operands.
+func (b *B) XOR(x, y Wire) Wire {
+	if x == y {
+		return b.Const(false)
+	}
+	if kx, vx := b.IsConst(x); kx {
+		if ky, vy := b.IsConst(y); ky {
+			return b.Const(vx != vy)
+		}
+		if vx {
+			return b.NOT(y)
+		}
+		return y
+	}
+	if ky, vy := b.IsConst(y); ky {
+		if vy {
+			return b.NOT(x)
+		}
+		return x
+	}
+	// NOT(a) ^ NOT(b) == a ^ b; NOT(a) ^ b == NOT(a ^ b). Folding these
+	// keeps INV chains from accumulating through arithmetic.
+	return b.emit(circuit.XOR, x, y)
+}
+
+// AND returns a & b, folding constants and duplicate operands.
+func (b *B) AND(x, y Wire) Wire {
+	if x == y {
+		return x
+	}
+	if kx, vx := b.IsConst(x); kx {
+		if !vx {
+			return b.Const(false)
+		}
+		return y
+	}
+	if ky, vy := b.IsConst(y); ky {
+		if !vy {
+			return b.Const(false)
+		}
+		return x
+	}
+	if n, ok := b.notOf[x]; ok && n == y {
+		return b.Const(false) // a & ~a
+	}
+	return b.emit(circuit.AND, x, y)
+}
+
+// NOT returns ~x; complements are cached so the gate is emitted at most
+// once per wire and NOT(NOT(x)) folds to x.
+func (b *B) NOT(x Wire) Wire {
+	if n, ok := b.notOf[x]; ok {
+		return n
+	}
+	n := b.emit(circuit.INV, x, 0)
+	b.notOf[x] = n
+	b.notOf[n] = x
+	return n
+}
+
+// OR returns a | b via De Morgan (one AND gate).
+func (b *B) OR(x, y Wire) Wire {
+	return b.NOT(b.AND(b.NOT(x), b.NOT(y)))
+}
+
+// XNOR returns ~(a ^ b).
+func (b *B) XNOR(x, y Wire) Wire { return b.NOT(b.XOR(x, y)) }
+
+// NAND returns ~(a & b).
+func (b *B) NAND(x, y Wire) Wire { return b.NOT(b.AND(x, y)) }
+
+// MUX returns s ? t : f using the single-AND form f ^ (s & (t ^ f)).
+func (b *B) MUX(s, t, f Wire) Wire {
+	if ks, vs := b.IsConst(s); ks {
+		if vs {
+			return t
+		}
+		return f
+	}
+	if t == f {
+		return t
+	}
+	return b.XOR(f, b.AND(s, b.XOR(t, f)))
+}
+
+// Output appends wires to the circuit's primary outputs.
+func (b *B) Output(ws ...Wire) { b.outputs = append(b.outputs, ws...) }
+
+// OutputWord appends all bits of w to the primary outputs.
+func (b *B) OutputWord(w Word) { b.outputs = append(b.outputs, w...) }
+
+// Build finalizes the circuit, renumbering wires into the convention of
+// internal/circuit: garbler inputs, evaluator inputs, constants (if
+// used), then gate outputs in emission order. Build may be called once.
+func (b *B) Build() (*circuit.Circuit, error) {
+	if b.built {
+		return nil, fmt.Errorf("builder: Build called twice")
+	}
+	b.built = true
+
+	// Outputs referencing constant wires force constant materialization.
+	for _, o := range b.outputs {
+		if o == idConst0 || o == idConst1 {
+			b.usedConst = true
+		}
+	}
+	// Any gate touching a constant wire keeps it; folding should have
+	// removed most, but INV of an input still references nothing const.
+	if !b.usedConst {
+		for i := range b.gates {
+			g := &b.gates[i]
+			if g.A < 2 || (g.Op != circuit.INV && g.B < 2) {
+				b.usedConst = true
+				break
+			}
+		}
+	}
+
+	remap := make([]Wire, b.next)
+	var ng, ne int
+	for _, in := range b.inputs {
+		if in.garbler {
+			ng++
+		} else {
+			ne++
+		}
+	}
+	// Assign garbler inputs first, then evaluator inputs, in declaration
+	// order within each party.
+	gi, ei := 0, ng
+	for _, in := range b.inputs {
+		if in.garbler {
+			remap[in.id] = Wire(gi)
+			gi++
+		} else {
+			remap[in.id] = Wire(ei)
+			ei++
+		}
+	}
+	base := Wire(ng + ne)
+	c := &circuit.Circuit{
+		GarblerInputs:   ng,
+		EvaluatorInputs: ne,
+	}
+	if b.usedConst {
+		c.HasConst = true
+		c.Const0 = base
+		c.Const1 = base + 1
+		remap[idConst0] = base
+		remap[idConst1] = base + 1
+		base += 2
+	}
+	nextOut := base
+	for i := range b.gates {
+		remap[b.gates[i].C] = nextOut
+		nextOut++
+	}
+	c.NumWires = int(nextOut)
+	c.Gates = make([]circuit.Gate, len(b.gates))
+	for i, g := range b.gates {
+		ng := circuit.Gate{Op: g.Op, A: remap[g.A], C: remap[g.C]}
+		if g.Op != circuit.INV {
+			ng.B = remap[g.B]
+		}
+		c.Gates[i] = ng
+	}
+	c.Outputs = make([]Wire, len(b.outputs))
+	for i, o := range b.outputs {
+		c.Outputs[i] = remap[o]
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("builder: produced invalid circuit: %w", err)
+	}
+	return c, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// construction is statically known to be valid.
+func (b *B) MustBuild() *circuit.Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

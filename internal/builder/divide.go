@@ -1,0 +1,157 @@
+package builder
+
+// Division, remainder and related word operations. GC circuits cannot
+// branch, so division is the classic restoring long-division network:
+// width iterations of shift/subtract/select. These round out the
+// integer library to cover workloads beyond the paper's eight (e.g.
+// fixed-point layers in private-inference examples).
+
+// DivMod returns the quotient and remainder of unsigned x / y.
+// Division by zero follows the conventional GC semantics: quotient is
+// all ones, remainder is x (no branching exists to signal errors).
+func (b *B) DivMod(x, y Word) (q, r Word) {
+	mustSameWidth("DivMod", x, y)
+	n := len(x)
+	q = make(Word, n)
+	// Remainder register, one bit wider than y so the trial subtraction
+	// cannot wrap.
+	rem := b.ZeroWord(n + 1)
+	yw := b.extendZero(y, n+1)
+	for i := n - 1; i >= 0; i-- {
+		// rem = rem<<1 | x[i]
+		rem = append(Word{x[i]}, rem[:n]...)
+		diff, borrow := b.SubBorrow(rem, yw)
+		fits := b.NOT(borrow) // y <= rem
+		q[i] = fits
+		rem = b.MuxWord(fits, diff, rem)
+	}
+	return q, rem[:n]
+}
+
+// Div returns the unsigned quotient.
+func (b *B) Div(x, y Word) Word {
+	q, _ := b.DivMod(x, y)
+	return q
+}
+
+// Mod returns the unsigned remainder.
+func (b *B) Mod(x, y Word) Word {
+	_, r := b.DivMod(x, y)
+	return r
+}
+
+// Abs returns |x| for a two's-complement word (MinInt maps to itself,
+// as in ordinary machine arithmetic).
+func (b *B) Abs(x Word) Word {
+	neg := x[len(x)-1]
+	return b.MuxWord(neg, b.Neg(x), x)
+}
+
+// DivS returns the signed quotient (truncated toward zero).
+func (b *B) DivS(x, y Word) Word {
+	q := b.Div(b.Abs(x), b.Abs(y))
+	sign := b.XOR(x[len(x)-1], y[len(y)-1])
+	return b.MuxWord(sign, b.Neg(q), q)
+}
+
+// MulS returns the low bits of the signed product; two's-complement
+// multiplication truncated to the operand width is identical to the
+// unsigned one.
+func (b *B) MulS(x, y Word) Word { return b.Mul(x, y) }
+
+// RotlConst rotates x left by k bits (pure rewiring, free).
+func (b *B) RotlConst(x Word, k int) Word {
+	n := len(x)
+	k = ((k % n) + n) % n
+	out := make(Word, n)
+	for i := range out {
+		out[i] = x[(i-k+n)%n]
+	}
+	return out
+}
+
+// RotrConst rotates x right by k bits (free).
+func (b *B) RotrConst(x Word, k int) Word { return b.RotlConst(x, -k) }
+
+// ShrArithConst shifts right arithmetically by the constant k,
+// replicating the sign bit.
+func (b *B) ShrArithConst(x Word, k int) Word {
+	n := len(x)
+	out := make(Word, n)
+	s := x[n-1]
+	for i := range out {
+		if i+k < n {
+			out[i] = x[i+k]
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// Select indexes a constant table with a secret index: out = table[idx].
+// Cost is one mux tree over the table (lookup tables, histograms, and
+// S-box-style translation all reduce to this).
+func (b *B) Select(idx Word, table []uint64, width int) Word {
+	words := make([]Word, len(table))
+	for i, v := range table {
+		words[i] = b.ConstWord(v, width)
+	}
+	return b.SelectWord(idx, words)
+}
+
+// SelectWord is Select over secret-valued entries. The table length must
+// be a power of two not exceeding 1<<len(idx); missing entries read as
+// zero.
+func (b *B) SelectWord(idx Word, table []Word) Word {
+	if len(table) == 0 {
+		panic("builder: SelectWord needs a non-empty table")
+	}
+	width := len(table[0])
+	// Pad to a power of two with zero words.
+	size := 1
+	for size < len(table) {
+		size *= 2
+	}
+	work := make([]Word, size)
+	copy(work, table)
+	for i := len(table); i < size; i++ {
+		work[i] = b.ZeroWord(width)
+	}
+	// Fold one selector bit per level.
+	for level := 0; size > 1; level++ {
+		half := size / 2
+		var sel Wire
+		if level < len(idx) {
+			sel = idx[level]
+		} else {
+			sel = b.Const(false)
+		}
+		for i := 0; i < half; i++ {
+			work[i] = b.MuxWord(sel, work[2*i+1], work[2*i])
+		}
+		size = half
+	}
+	return work[0]
+}
+
+// minWord computes the element-wise running minimum of a slice together
+// with its index (used by k-NN style workloads); ties keep the earlier
+// element.
+func (b *B) MinWithIndex(vals []Word) (min Word, idx Word) {
+	if len(vals) == 0 {
+		panic("builder: MinWithIndex needs elements")
+	}
+	idxWidth := 1
+	for 1<<uint(idxWidth) < len(vals) {
+		idxWidth++
+	}
+	min = vals[0]
+	idx = b.ConstWord(0, idxWidth)
+	for i := 1; i < len(vals); i++ {
+		smaller := b.LtU(vals[i], min)
+		min = b.MuxWord(smaller, vals[i], min)
+		idx = b.MuxWord(smaller, b.ConstWord(uint64(i), idxWidth), idx)
+	}
+	return min, idx
+}

@@ -1,0 +1,212 @@
+package builder
+
+import (
+	"math/rand"
+	"testing"
+
+	"haac/internal/circuit"
+)
+
+func TestDivMod(t *testing.T) {
+	b := New()
+	x := b.GarblerInputs(16)
+	y := b.EvaluatorInputs(16)
+	q, r := b.DivMod(x, y)
+	b.OutputWord(q)
+	b.OutputWord(r)
+	c := b.MustBuild()
+	rng := rand.New(rand.NewSource(31))
+	check := func(xv, yv uint64) {
+		t.Helper()
+		out, err := c.EvalUint([]uint64{xv}, []uint64{yv}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantQ, wantR uint64
+		if yv == 0 {
+			wantQ, wantR = 0xffff, xv
+		} else {
+			wantQ, wantR = xv/yv, xv%yv
+		}
+		if out[0] != wantQ || out[1] != wantR {
+			t.Fatalf("DivMod(%d,%d) = (%d,%d), want (%d,%d)", xv, yv, out[0], out[1], wantQ, wantR)
+		}
+	}
+	check(100, 7)
+	check(0, 5)
+	check(65535, 1)
+	check(1, 65535)
+	check(42, 0) // division by zero convention
+	for i := 0; i < 150; i++ {
+		check(uint64(rng.Intn(1<<16)), uint64(rng.Intn(1<<16)))
+	}
+}
+
+func TestDivS(t *testing.T) {
+	b := New()
+	x := b.GarblerInputs(16)
+	y := b.EvaluatorInputs(16)
+	b.OutputWord(b.DivS(x, y))
+	c := b.MustBuild()
+	rng := rand.New(rand.NewSource(37))
+	check := func(xv, yv int16) {
+		t.Helper()
+		if yv == 0 {
+			return
+		}
+		out, err := c.EvalUint([]uint64{uint64(uint16(xv))}, []uint64{uint64(uint16(yv))}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(uint16(xv / yv))
+		if out[0] != want {
+			t.Fatalf("DivS(%d,%d) = %#x, want %#x", xv, yv, out[0], want)
+		}
+	}
+	check(100, 7)
+	check(-100, 7)
+	check(100, -7)
+	check(-100, -7)
+	check(-1, 1)
+	for i := 0; i < 100; i++ {
+		check(int16(rng.Uint32()), int16(rng.Uint32()))
+	}
+}
+
+func TestAbs(t *testing.T) {
+	b := New()
+	x := b.GarblerInputs(8)
+	b.OutputWord(b.Abs(x))
+	c := b.MustBuild()
+	for _, v := range []int8{0, 1, -1, 127, -127, -128, 55, -55} {
+		out, err := c.EvalUint([]uint64{uint64(uint8(v))}, nil, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := v
+		if want < 0 {
+			want = -want // note: -(-128) == -128, mirrored by the circuit
+		}
+		if out[0] != uint64(uint8(want)) {
+			t.Fatalf("Abs(%d) = %d, want %d", v, out[0], uint8(want))
+		}
+	}
+}
+
+func TestRotations(t *testing.T) {
+	b := New()
+	x := b.GarblerInputs(16)
+	b.OutputWord(b.RotlConst(x, 3))
+	b.OutputWord(b.RotrConst(x, 5))
+	b.OutputWord(b.RotlConst(x, 16)) // full rotation = identity
+	b.OutputWord(b.RotlConst(x, -1)) // negative = right by 1
+	c := b.MustBuild()
+	v := uint64(0xb3c5)
+	out, err := c.EvalUint([]uint64{v}, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotl := func(x uint64, k uint) uint64 { return (x<<k | x>>(16-k)) & 0xffff }
+	if out[0] != rotl(v, 3) || out[1] != rotl(v, 11) || out[2] != v || out[3] != rotl(v, 15) {
+		t.Fatalf("rotations wrong: %#x", out)
+	}
+}
+
+func TestShrArithConst(t *testing.T) {
+	b := New()
+	x := b.GarblerInputs(8)
+	b.OutputWord(b.ShrArithConst(x, 3))
+	c := b.MustBuild()
+	for _, v := range []int8{0, 1, -1, 127, -128, 40, -40} {
+		out, err := c.EvalUint([]uint64{uint64(uint8(v))}, nil, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(uint8(v >> 3))
+		if out[0] != want {
+			t.Fatalf("ShrArith(%d,3) = %#x, want %#x", v, out[0], want)
+		}
+	}
+}
+
+func TestSelectConstTable(t *testing.T) {
+	table := []uint64{7, 13, 0, 255, 42}
+	b := New()
+	idx := b.GarblerInputs(3)
+	b.OutputWord(b.Select(idx, table, 8))
+	c := b.MustBuild()
+	for i := 0; i < 8; i++ {
+		out, err := c.Eval(circuit.UintToBools(uint64(i), 3), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(0)
+		if i < len(table) {
+			want = table[i]
+		}
+		if got := circuit.BoolsToUint(out); got != want {
+			t.Fatalf("Select[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSelectWordSecretTable(t *testing.T) {
+	b := New()
+	idx := b.GarblerInputs(2)
+	entries := make([]Word, 4)
+	for i := range entries {
+		entries[i] = b.EvaluatorInputs(8)
+	}
+	b.OutputWord(b.SelectWord(idx, entries))
+	c := b.MustBuild()
+	vals := []uint64{11, 22, 33, 44}
+	var evalBits []bool
+	for _, v := range vals {
+		evalBits = append(evalBits, circuit.UintToBools(v, 8)...)
+	}
+	for i := 0; i < 4; i++ {
+		out, err := c.Eval(circuit.UintToBools(uint64(i), 2), evalBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := circuit.BoolsToUint(out); got != vals[i] {
+			t.Fatalf("SelectWord[%d] = %d, want %d", i, got, vals[i])
+		}
+	}
+}
+
+func TestMinWithIndex(t *testing.T) {
+	b := New()
+	vals := make([]Word, 5)
+	for i := range vals {
+		vals[i] = b.GarblerInputs(8)
+	}
+	mn, idx := b.MinWithIndex(vals)
+	b.OutputWord(mn)
+	b.OutputWord(idx)
+	c := b.MustBuild()
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		in := make([]uint64, 5)
+		var bits []bool
+		for i := range in {
+			in[i] = uint64(rng.Intn(256))
+			bits = append(bits, circuit.UintToBools(in[i], 8)...)
+		}
+		out, err := c.Eval(bits, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMin := circuit.BoolsToUint(out[:8])
+		gotIdx := circuit.BoolsToUint(out[8:])
+		wantMin, wantIdx := in[0], uint64(0)
+		for i, v := range in {
+			if v < wantMin {
+				wantMin, wantIdx = v, uint64(i)
+			}
+		}
+		if gotMin != wantMin || gotIdx != wantIdx {
+			t.Fatalf("MinWithIndex(%v) = (%d,%d), want (%d,%d)", in, gotMin, gotIdx, wantMin, wantIdx)
+		}
+	}
+}

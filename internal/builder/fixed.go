@@ -1,0 +1,75 @@
+package builder
+
+// Fixed-point arithmetic (Qm.f format: two's-complement words with f
+// fractional bits). Hybrid private-inference protocols — the paper's
+// motivating application — run their linear algebra in fixed point and
+// reserve garbled circuits for the non-linearities; these helpers cover
+// the full layer so examples and extension workloads can express
+// end-to-end layers in one circuit.
+
+// Fix describes a fixed-point format: total width bits with Frac
+// fractional bits.
+type Fix struct {
+	Width int
+	Frac  int
+}
+
+// Q8_8 is the 16-bit, 8-fraction-bit format used by the examples.
+var Q8_8 = Fix{Width: 16, Frac: 8}
+
+// FixConst returns the fixed-point encoding of v as a constant word.
+func (b *B) FixConst(f Fix, v float64) Word {
+	scaled := int64(v * float64(int64(1)<<uint(f.Frac)))
+	return b.ConstWord(uint64(scaled), f.Width)
+}
+
+// FixAdd adds two fixed-point values (plain two's-complement add).
+func (b *B) FixAdd(f Fix, x, y Word) Word { return b.Add(x, y) }
+
+// FixSub subtracts fixed-point values.
+func (b *B) FixSub(f Fix, x, y Word) Word { return b.Sub(x, y) }
+
+// FixMul multiplies two fixed-point values: full-width signed product,
+// arithmetic shift right by the fraction, truncate to the format width.
+func (b *B) FixMul(f Fix, x, y Word) Word {
+	w2 := 2 * f.Width
+	prod := b.Mul(b.ExtendSign(x, w2), b.ExtendSign(y, w2))
+	return b.ShrArithConst(prod, f.Frac)[:f.Width]
+}
+
+// FixReLU clamps negative values to zero.
+func (b *B) FixReLU(f Fix, x Word) Word {
+	pos := b.NOT(x[f.Width-1])
+	out := make(Word, f.Width)
+	for i := range out {
+		out[i] = b.AND(x[i], pos)
+	}
+	return out
+}
+
+// FixDot computes the fixed-point inner product of two equal-length
+// vectors, accumulating at double width before a single rescale —
+// cheaper and more accurate than rescaling per product.
+func (b *B) FixDot(f Fix, xs, ys []Word) Word {
+	if len(xs) != len(ys) {
+		panic("builder: FixDot vector lengths differ")
+	}
+	w2 := 2 * f.Width
+	acc := b.ZeroWord(w2)
+	for i := range xs {
+		p := b.Mul(b.ExtendSign(xs[i], w2), b.ExtendSign(ys[i], w2))
+		acc = b.Add(acc, p)
+	}
+	return b.ShrArithConst(acc, f.Frac)[:f.Width]
+}
+
+// FixLayer computes ReLU(W·x + bias) for a dense layer: weights is
+// out×in, x has in elements, bias has out elements.
+func (b *B) FixLayer(f Fix, weights [][]Word, bias, x []Word) []Word {
+	out := make([]Word, len(weights))
+	for o := range weights {
+		v := b.FixAdd(f, b.FixDot(f, weights[o], x), bias[o])
+		out[o] = b.FixReLU(f, v)
+	}
+	return out
+}

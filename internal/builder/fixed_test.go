@@ -1,0 +1,147 @@
+package builder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haac/internal/circuit"
+)
+
+// fixVal encodes a float into Q8.8 bits; fixFloat decodes.
+func fixVal(v float64) uint64 {
+	return uint64(uint16(int16(v * 256)))
+}
+
+func fixFloat(bits uint64) float64 {
+	return float64(int16(uint16(bits))) / 256
+}
+
+func TestFixMul(t *testing.T) {
+	b := New()
+	x := b.GarblerInputs(16)
+	y := b.EvaluatorInputs(16)
+	b.OutputWord(b.FixMul(Q8_8, x, y))
+	c := b.MustBuild()
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 200; i++ {
+		xf := rng.Float64()*16 - 8
+		yf := rng.Float64()*16 - 8
+		out, err := c.EvalUint([]uint64{fixVal(xf)}, []uint64{fixVal(yf)}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fixFloat(out[0])
+		want := xf * yf
+		// Q8.8 quantizes inputs to 1/256 and truncates the product.
+		if math.Abs(got-want) > 0.15 {
+			t.Fatalf("FixMul(%v,%v) = %v, want ~%v", xf, yf, got, want)
+		}
+	}
+}
+
+func TestFixMulExactPowers(t *testing.T) {
+	b := New()
+	x := b.GarblerInputs(16)
+	y := b.EvaluatorInputs(16)
+	b.OutputWord(b.FixMul(Q8_8, x, y))
+	c := b.MustBuild()
+	cases := [][3]float64{
+		{2, 3, 6}, {0.5, 0.5, 0.25}, {-2, 3, -6}, {1.5, -2, -3},
+		{0, 5, 0}, {-0.25, -4, 1},
+	}
+	for _, cs := range cases {
+		out, err := c.EvalUint([]uint64{fixVal(cs[0])}, []uint64{fixVal(cs[1])}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fixFloat(out[0]); got != cs[2] {
+			t.Fatalf("FixMul(%v,%v) = %v, want %v", cs[0], cs[1], got, cs[2])
+		}
+	}
+}
+
+func TestFixReLU(t *testing.T) {
+	b := New()
+	x := b.GarblerInputs(16)
+	b.OutputWord(b.FixReLU(Q8_8, x))
+	c := b.MustBuild()
+	for _, v := range []float64{-5, -0.004, 0, 0.004, 5, 127} {
+		out, err := c.EvalUint([]uint64{fixVal(v)}, nil, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fixFloat(fixVal(v)) // input quantized to Q8.8 first
+		if want < 0 {
+			want = 0
+		}
+		if got := fixFloat(out[0]); got != want {
+			t.Fatalf("FixReLU(%v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestFixDotAndLayer(t *testing.T) {
+	const n = 6
+	b := New()
+	ws := make([]Word, n)
+	xs := make([]Word, n)
+	for i := range ws {
+		ws[i] = b.GarblerInputs(16)
+	}
+	for i := range xs {
+		xs[i] = b.EvaluatorInputs(16)
+	}
+	bias := b.GarblerInputs(16)
+	out := b.FixLayer(Q8_8, [][]Word{ws}, []Word{bias}, xs)
+	b.OutputWord(out[0])
+	c := b.MustBuild()
+
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 40; trial++ {
+		wf := make([]float64, n)
+		xf := make([]float64, n)
+		var g, e []bool
+		for i := 0; i < n; i++ {
+			wf[i] = rng.Float64()*2 - 1
+			g = append(g, circuit.UintToBools(fixVal(wf[i]), 16)...)
+		}
+		for i := 0; i < n; i++ {
+			xf[i] = rng.Float64()*2 - 1
+			e = append(e, circuit.UintToBools(fixVal(xf[i]), 16)...)
+		}
+		bf := rng.Float64() - 0.5
+		g = append(g, circuit.UintToBools(fixVal(bf), 16)...)
+
+		res, err := c.Eval(g, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fixFloat(circuit.BoolsToUint(res))
+		want := bf
+		for i := 0; i < n; i++ {
+			want += wf[i] * xf[i]
+		}
+		if want < 0 {
+			want = 0
+		}
+		if math.Abs(got-want) > 0.1 {
+			t.Fatalf("FixLayer = %v, want ~%v", got, want)
+		}
+	}
+}
+
+func TestFixConst(t *testing.T) {
+	b := New()
+	w := b.FixConst(Q8_8, -1.5)
+	x := b.GarblerInputs(16)
+	b.OutputWord(b.FixAdd(Q8_8, x, w))
+	c := b.MustBuild()
+	out, err := c.EvalUint([]uint64{fixVal(4.0)}, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fixFloat(out[0]); got != 2.5 {
+		t.Fatalf("4.0 + (-1.5) = %v", got)
+	}
+}

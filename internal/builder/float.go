@@ -1,0 +1,152 @@
+package builder
+
+// IEEE-754 binary32 arithmetic as Boolean circuits. These are line-by-line
+// transcriptions of internal/softfloat (the reference oracle); the two
+// must stay in lockstep. See the softfloat package doc for the exact
+// semantics (flush-to-zero, 3-guard-bit truncation, saturate-to-inf).
+//
+// GradDesc, the paper's floating-point benchmark ("implemented with true
+// floating point arithmetic", §5), is built from these.
+
+// Float word layout: a 32-wire little-endian Word where
+//
+//	w[0:23]  mantissa
+//	w[23:31] biased exponent
+//	w[31]    sign
+
+// fUnpack splits a 32-bit float word into fields.
+func fUnpack(x Word) (sign Wire, exp, mant Word) {
+	return x[31], x[23:31], x[0:23]
+}
+
+// fPack assembles a float word.
+func fPack(sign Wire, exp, mant Word) Word {
+	out := make(Word, 32)
+	copy(out[0:23], mant)
+	copy(out[23:31], exp)
+	out[31] = sign
+	return out
+}
+
+// FNeg flips the sign bit (free).
+func (b *B) FNeg(x Word) Word {
+	out := append(Word(nil), x...)
+	out[31] = b.NOT(x[31])
+	return out
+}
+
+// FMul multiplies two binary32 words. Mirrors softfloat.Mul.
+func (b *B) FMul(x, y Word) Word {
+	mustFloat(x, y)
+	sa, ea, ma := fUnpack(x)
+	sb, eb, mb := fUnpack(y)
+	s := b.XOR(sa, sb)
+
+	zeroIn := b.OR(b.IsZero(ea), b.IsZero(eb))
+
+	// 24-bit significands with the hidden bit; the zero case is muxed
+	// out at the end exactly as softfloat returns early.
+	pa := append(append(Word{}, ma...), b.Const(true))
+	pb := append(append(Word{}, mb...), b.Const(true))
+	p := b.MulFull(pa, pb) // 48 bits
+
+	norm := p[47]
+	mant := b.MuxWord(norm, p[24:47], p[23:46])
+
+	// e = ea + eb - 127 + norm, in 10-bit signed arithmetic.
+	t := b.Add(b.extendZero(ea, 10), b.extendZero(eb, 10))
+	e := b.Sub(t, b.ConstWord(127, 10))
+	e, _ = b.AddCin(e, b.ZeroWord(10), norm)
+
+	zero := b.OR(zeroIn, b.LtS(e, b.ConstWord(1, 10)))
+	inf := b.AND(b.NOT(zero), b.NOT(b.LtS(e, b.ConstWord(255, 10))))
+
+	return b.fFinish(s, e, mant, zero, inf)
+}
+
+// FAdd adds two binary32 words. Mirrors softfloat.Add.
+func (b *B) FAdd(x, y Word) Word {
+	mustFloat(x, y)
+	// Order by magnitude: the low 31 bits compare exp-then-mantissa.
+	swap := b.LtU(x[0:31], y[0:31])
+	big := b.MuxWord(swap, y, x)
+	small := b.MuxWord(swap, x, y)
+
+	s1, e1, m1 := fUnpack(big)
+	s2, e2, m2 := fUnpack(small)
+
+	sig1 := b.fSig27(e1, m1)
+	sig2 := b.fSig27(e2, m2)
+
+	// Align: d = e1 - e2 (non-negative by the swap), clamped to 31 so
+	// the barrel shifter takes a 5-bit amount.
+	d := b.Sub(e1, e2)
+	ge32 := b.OrTree(d[5:8])
+	sh := b.MuxWord(ge32, b.ConstWord(31, 5), d[0:5])
+	sig2 = b.ShrVar(sig2, sh)
+
+	subtract := b.XOR(s1, s2)
+	a28 := b.extendZero(sig1, 28)
+	c28 := b.extendZero(sig2, 28)
+	sum := b.Add(a28, c28)
+	diff := b.Sub(a28, c28)
+	r := b.MuxWord(subtract, diff, sum) // 28 bits
+
+	rzero := b.IsZero(r)
+	lz := b.LeadingZeros(r) // 5 bits (0..28)
+	rn := b.ShlVar(r, lz)
+
+	// e = e1 + 1 - lz in 10-bit signed arithmetic.
+	e := b.Add(b.extendZero(e1, 10), b.ConstWord(1, 10))
+	e = b.Sub(e, b.extendZero(lz, 10))
+
+	zero := b.OR(rzero, b.LtS(e, b.ConstWord(1, 10)))
+	inf := b.AND(b.NOT(zero), b.NOT(b.LtS(e, b.ConstWord(255, 10))))
+
+	// Exact cancellation yields +0 (sign cleared), like softfloat.
+	sign := b.AND(s1, b.NOT(rzero))
+	mant := rn[4:27]
+	return b.fFinish(sign, e, mant, zero, inf)
+}
+
+// FSub returns x - y.
+func (b *B) FSub(x, y Word) Word { return b.FAdd(x, b.FNeg(y)) }
+
+// fSig27 builds the 27-bit significand (hidden|mant)<<3, or 0 for a
+// zero/FTZ operand.
+func (b *B) fSig27(e, m Word) Word {
+	nonzero := b.NonZero(e)
+	sig := make(Word, 27)
+	sig[0] = b.Const(false)
+	sig[1] = b.Const(false)
+	sig[2] = b.Const(false)
+	for i := 0; i < 23; i++ {
+		sig[3+i] = b.AND(m[i], nonzero)
+	}
+	sig[26] = nonzero
+	return sig
+}
+
+// fFinish applies the zero/inf selection and packs the result.
+func (b *B) fFinish(sign Wire, e10, mant Word, zero, inf Wire) Word {
+	expOut := make(Word, 8)
+	for i := 0; i < 8; i++ {
+		// zero -> 0, inf -> 1, else e bit.
+		v := b.MUX(inf, b.Const(true), e10[i])
+		expOut[i] = b.AND(v, b.NOT(zero))
+	}
+	mantOut := make(Word, 23)
+	kill := b.OR(zero, inf)
+	for i := range mantOut {
+		mantOut[i] = b.AND(mant[i], b.NOT(kill))
+	}
+	return fPack(sign, expOut, mantOut)
+}
+
+func mustFloat(ws ...Word) {
+	for _, w := range ws {
+		if len(w) != 32 {
+			panic("builder: float operands must be 32 wires")
+		}
+	}
+}

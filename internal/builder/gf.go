@@ -1,0 +1,345 @@
+package builder
+
+// Galois-field tower machinery for building a compact AES S-box circuit
+// (~60 AND gates instead of the ~2000 a mux-tree lookup costs). The
+// Table 5 comparison garbles an AES-128 circuit, so its gate count needs
+// to be in the same league as the standard Bristol AES netlist the prior
+// accelerators were evaluated on.
+//
+// Construction: represent GF(2^8) (AES polynomial x^8+x^4+x^3+x+1) as the
+// tower GF((2^4)^2) = GF(16)[Y]/(Y^2+Y+λ). Inversion in the tower costs
+// three GF(16) multiplications plus one GF(16) inversion; everything else
+// (squaring, scaling by λ, the basis changes, and the S-box affine map)
+// is GF(2)-linear and therefore free XOR under garbling.
+//
+// All constants — the GF(16) embedding, the tower root Y, the 8×8 basis
+// change matrices — are derived by brute-force search at init time and
+// the full S-box is unit-tested against the byte table in
+// internal/aes128, so no hand-copied magic matrices can silently rot.
+
+// ---- plaintext field arithmetic used only to derive constants ----
+
+// gf256Mul multiplies in GF(2^8) modulo x^8+x^4+x^3+x+1 (AES).
+func gf256Mul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 == 1 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gf16Mul multiplies in GF(2^4) modulo x^4+x+1.
+func gf16Mul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 4; i++ {
+		if b&1 == 1 {
+			p ^= a
+		}
+		hi := a & 0x8
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x13
+		}
+		b >>= 1
+	}
+	return p & 0xf
+}
+
+// gf16Inv is the multiplicative inverse table in GF(2^4), with inv(0)=0
+// (matching the AES convention for the S-box input 0).
+var gf16Inv [16]byte
+
+// tower holds the derived tower-field constants.
+type towerConsts struct {
+	lambda  byte    // λ ∈ GF(16) with Y^2+Y+λ irreducible
+	toTow   [8]byte // matrix: std-basis byte -> (b | a<<4) tower coords, column images
+	fromTow [8]byte // inverse matrix
+	sqLam   [4]byte // GF(16) linear map t -> λ·t^2, column images
+}
+
+var tower towerConsts
+
+func init() {
+	for x := 1; x < 16; x++ {
+		for y := 1; y < 16; y++ {
+			if gf16Mul(byte(x), byte(y)) == 1 {
+				gf16Inv[x] = byte(y)
+			}
+		}
+	}
+
+	// Embed GF(16) into GF(2^8): find u with u^4 + u + 1 = 0 over the AES
+	// field; then emb(sum a_i x^i) = sum a_i u^i.
+	var u byte
+	for cand := 2; cand < 256; cand++ {
+		c := byte(cand)
+		c4 := gf256Mul(gf256Mul(c, c), gf256Mul(c, c))
+		if c4^c^1 == 0 {
+			u = c
+			break
+		}
+	}
+	if u == 0 {
+		panic("builder: no GF(16) embedding found")
+	}
+	emb := func(v byte) byte {
+		var r, p byte = 0, 1
+		for i := 0; i < 4; i++ {
+			if v>>uint(i)&1 == 1 {
+				r ^= p
+			}
+			p = gf256Mul(p, u)
+		}
+		return r
+	}
+
+	// Pick λ such that Y^2+Y+λ has a root Y in GF(2^8) but none in
+	// GF(16) (irreducible over GF(16) yet splitting in the extension).
+	var lambda, Y byte
+search:
+	for l := 1; l < 16; l++ {
+		for t := 0; t < 16; t++ {
+			if gf16Mul(byte(t), byte(t))^byte(t)^byte(l) == 0 {
+				continue search // reducible over GF(16)
+			}
+		}
+		el := emb(byte(l))
+		for y := 0; y < 256; y++ {
+			yy := byte(y)
+			if gf256Mul(yy, yy)^yy^el == 0 {
+				lambda, Y = byte(l), yy
+				break search
+			}
+		}
+	}
+	if Y == 0 {
+		panic("builder: no tower root found")
+	}
+	tower.lambda = lambda
+
+	// fromTow: tower coords (b + a·Y with a,b ∈ GF(16), packed a<<4|b)
+	// back to the standard basis. Columns are images of the 8 unit bits.
+	for i := 0; i < 4; i++ {
+		tower.fromTow[i] = emb(1 << uint(i))              // b bits
+		tower.fromTow[4+i] = gf256Mul(emb(1<<uint(i)), Y) // a bits
+	}
+	// Invert over GF(2) to get toTow.
+	inv, ok := invertGF2(tower.fromTow)
+	if !ok {
+		panic("builder: tower basis not invertible")
+	}
+	tower.toTow = inv
+
+	// sqLam: t -> λ·t² in GF(16) is linear; store column images.
+	for i := 0; i < 4; i++ {
+		t := byte(1 << uint(i))
+		tower.sqLam[i] = gf16Mul(lambda, gf16Mul(t, t))
+	}
+}
+
+// invertGF2 inverts an 8×8 GF(2) matrix given as column images.
+func invertGF2(cols [8]byte) ([8]byte, bool) {
+	// rows[i] = i-th row of [M | I] as 16-bit.
+	var rows [8]uint16
+	for r := 0; r < 8; r++ {
+		var row uint16
+		for c := 0; c < 8; c++ {
+			if cols[c]>>uint(r)&1 == 1 {
+				row |= 1 << uint(c)
+			}
+		}
+		rows[r] = row | 1<<uint(8+r)
+	}
+	for col := 0; col < 8; col++ {
+		p := -1
+		for r := col; r < 8; r++ {
+			if rows[r]>>uint(col)&1 == 1 {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			return [8]byte{}, false
+		}
+		rows[col], rows[p] = rows[p], rows[col]
+		for r := 0; r < 8; r++ {
+			if r != col && rows[r]>>uint(col)&1 == 1 {
+				rows[r] ^= rows[col]
+			}
+		}
+	}
+	var out [8]byte
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			if rows[r]>>uint(8+c)&1 == 1 {
+				out[c] |= 1 << uint(r)
+			}
+		}
+	}
+	return out, true
+}
+
+// ---- circuit-level helpers ----
+
+// linearMap applies the GF(2)-linear map with the given column images to
+// the bit-word x (len(x) input bits, width output bits). Pure XOR.
+func (b *B) linearMap(x Word, cols []byte, width int) Word {
+	out := make(Word, width)
+	for r := 0; r < width; r++ {
+		var terms []Wire
+		for c := range x {
+			if cols[c]>>uint(r)&1 == 1 {
+				terms = append(terms, x[c])
+			}
+		}
+		out[r] = b.XorTree(terms)
+	}
+	return out
+}
+
+// GF16Mul multiplies two GF(2^4) elements (poly x^4+x+1) as a bilinear
+// circuit: 16 shared AND products combined by XOR trees.
+func (b *B) GF16Mul(x, y Word) Word {
+	if len(x) != 4 || len(y) != 4 {
+		panic("builder: GF16Mul operands must be 4 wires")
+	}
+	var prod [4][4]Wire
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			prod[i][j] = b.AND(x[i], y[j])
+		}
+	}
+	out := make(Word, 4)
+	for k := 0; k < 4; k++ {
+		var terms []Wire
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if gf16Mul(1<<uint(i), 1<<uint(j))>>uint(k)&1 == 1 {
+					terms = append(terms, prod[i][j])
+				}
+			}
+		}
+		out[k] = b.XorTree(terms)
+	}
+	return out
+}
+
+// GF16Inv inverts a GF(2^4) element (inv(0)=0) via its algebraic normal
+// form, computed from the inverse table at build time. Shared monomial
+// products keep this at ~10 AND gates.
+func (b *B) GF16Inv(x Word) Word {
+	if len(x) != 4 {
+		panic("builder: GF16Inv operand must be 4 wires")
+	}
+	// monomial wires for each subset of variables (index = bitmask).
+	mono := make([]Wire, 16)
+	mono[0] = b.Const(true)
+	for m := 1; m < 16; m++ {
+		low := m & (-m)
+		rest := m ^ low
+		v := x[trailing(low)]
+		if rest == 0 {
+			mono[m] = v
+		} else {
+			mono[m] = b.AND(mono[rest], v)
+		}
+	}
+	// ANF coefficients by Möbius transform of the truth table per bit.
+	out := make(Word, 4)
+	for k := 0; k < 4; k++ {
+		var tt [16]byte
+		for v := 0; v < 16; v++ {
+			tt[v] = gf16Inv[v] >> uint(k) & 1
+		}
+		coef := tt
+		for i := 0; i < 4; i++ {
+			for v := 0; v < 16; v++ {
+				if v>>uint(i)&1 == 1 {
+					coef[v] ^= coef[v^(1<<uint(i))]
+				}
+			}
+		}
+		var terms []Wire
+		for m := 0; m < 16; m++ {
+			if coef[m] == 1 {
+				terms = append(terms, mono[m])
+			}
+		}
+		out[k] = b.XorTree(terms)
+	}
+	return out
+}
+
+func trailing(m int) int {
+	n := 0
+	for m>>uint(n)&1 == 0 {
+		n++
+	}
+	return n
+}
+
+// GF256Inv inverts a GF(2^8) element in the AES field (inv(0)=0) via the
+// tower decomposition; roughly 58 AND gates.
+func (b *B) GF256Inv(x Word) Word {
+	if len(x) != 8 {
+		panic("builder: GF256Inv operand must be 8 wires")
+	}
+	t := b.linearMap(x, tower.toTow[:], 8)
+	lo, hi := t[0:4], t[4:8] // x = hi·Y + lo
+
+	// Δ = λ·hi² + hi·lo + lo²;  x⁻¹ = (hi·Δ⁻¹)·Y + (hi+lo)·Δ⁻¹
+	lamHi2 := b.linearMap(hi, tower.sqLam[:], 4)
+	sqCols := [4]byte{} // squaring in GF(16) is GF(2)-linear
+	for i := 0; i < 4; i++ {
+		tv := byte(1 << uint(i))
+		sqCols[i] = gf16Mul(tv, tv)
+	}
+	lo2 := b.linearMap(lo, sqCols[:], 4)
+
+	delta := b.XORWords(b.XORWords(lamHi2, b.GF16Mul(hi, lo)), lo2)
+	dinv := b.GF16Inv(delta)
+
+	outHi := b.GF16Mul(hi, dinv)
+	outLo := b.GF16Mul(b.XORWords(hi, lo), dinv)
+
+	res := make(Word, 8)
+	copy(res[0:4], outLo)
+	copy(res[4:8], outHi)
+	return b.linearMap(res, tower.fromTow[:], 8)
+}
+
+// sboxAffineCols are the column images of the AES S-box affine matrix A
+// (s = A·x ⊕ 0x63).
+var sboxAffineCols = [8]byte{}
+
+func init() {
+	// s_i = x_i ^ x_{(i+4)%8} ^ x_{(i+5)%8} ^ x_{(i+6)%8} ^ x_{(i+7)%8},
+	// so column j is 0x1f rotated left by j.
+	for j := 0; j < 8; j++ {
+		sboxAffineCols[j] = byte(0x1f<<uint(j) | 0x1f>>uint(8-j))
+	}
+}
+
+// SBox applies the AES S-box to an 8-wire byte: tower inversion followed
+// by the affine map (free) and the 0x63 constant XOR (free).
+func (b *B) SBox(x Word) Word {
+	inv := b.GF256Inv(x)
+	aff := b.linearMap(inv, sboxAffineCols[:], 8)
+	out := make(Word, 8)
+	for i := 0; i < 8; i++ {
+		if 0x63>>uint(i)&1 == 1 {
+			out[i] = b.NOT(aff[i])
+		} else {
+			out[i] = aff[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package builder
+
+// Karatsuba multiplication: fewer AND gates than schoolbook at the cost
+// of depth. GC cost is dominated by AND count (each AND is four AES
+// calls on a CPU and a Half-Gate pipeline pass plus a 32-byte table on
+// HAAC), so sub-quadratic multipliers pay off sooner than they do in
+// plaintext hardware; EMP-style frameworks make the same trade. The
+// crossover against the schoolbook Mul sits around 16-32 bits.
+
+// karatsubaThreshold is the width below which schoolbook wins.
+const karatsubaThreshold = 10
+
+// MulKaratsuba returns the low len(x) bits of x*y using recursive
+// Karatsuba decomposition (full product computed, then truncated; the
+// recursion itself needs the full halves).
+func (b *B) MulKaratsuba(x, y Word) Word {
+	mustSameWidth("MulKaratsuba", x, y)
+	n := len(x)
+	return b.mulKaratsubaFull(x, y)[:n]
+}
+
+// MulKaratsubaFull returns the full 2n-bit product.
+func (b *B) MulKaratsubaFull(x, y Word) Word {
+	mustSameWidth("MulKaratsubaFull", x, y)
+	return b.mulKaratsubaFull(x, y)
+}
+
+func (b *B) mulKaratsubaFull(x, y Word) Word {
+	n := len(x)
+	if n <= karatsubaThreshold {
+		return b.MulFull(x, y)
+	}
+	h := n / 2
+	x0, x1 := x[:h], x[h:] // x = x1·2^h + x0
+	y0, y1 := y[:h], y[h:]
+
+	// Balance halves: widen the low parts to the high parts' width.
+	w := n - h
+	x0w := b.extendZero(x0, w)
+	y0w := b.extendZero(y0, w)
+
+	z0 := b.mulKaratsubaFull(x0w, y0w) // 2w bits, low product
+	z2 := b.mulKaratsubaFull(x1, y1)   // 2w bits, high product
+
+	// (x0+x1)(y0+y1): sums need one extra bit.
+	sx, cx := b.AddCin(x0w, x1, b.Const(false))
+	sy, cy := b.AddCin(y0w, y1, b.Const(false))
+	sxw := append(append(Word{}, sx...), cx)
+	syw := append(append(Word{}, sy...), cy)
+	z1 := b.mulKaratsubaFull(sxw, syw) // (w+1)*2 bits
+
+	// middle = z1 - z0 - z2
+	mw := len(z1)
+	mid := b.Sub(b.Sub(z1, b.extendZero(z0, mw)), b.extendZero(z2, mw))
+
+	// result = z0 + mid<<h + z2<<2h, assembled at 2n bits.
+	out := b.extendZero(z0, 2*n)
+	out = b.Add(out, b.ShlConst(b.extendZero(mid, 2*n), h))
+	out = b.Add(out, b.ShlConst(b.extendZero(z2, 2*n), 2*h))
+	return out
+}

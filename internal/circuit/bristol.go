@@ -1,0 +1,154 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Bristol format support. The paper's toolchain (Fig. 5) goes
+// C++ → EMP → Bristol netlist → HAAC assembler; this file implements the
+// Bristol side so externally produced netlists can be fed to the
+// compiler, and so our builder's circuits can be exported.
+//
+// The classic ("old") Bristol format is:
+//
+//	<ngates> <nwires>
+//	<n_garbler_inputs> <n_evaluator_inputs> <n_outputs>
+//	2 1 <a> <b> <c> AND
+//	2 1 <a> <b> <c> XOR
+//	1 1 <a> <c> INV
+//
+// Output wires are, by convention, the last n_outputs wires of the
+// circuit. Constant wires are not part of the format; WriteBristol
+// refuses circuits that use them unless they were lowered first.
+
+// WriteBristol writes c in classic Bristol format. The circuit's outputs
+// must be the last len(Outputs) wires, which holds for builder-produced
+// circuits after ExportBristol relayout; otherwise an error is returned.
+func WriteBristol(w io.Writer, c *Circuit) error {
+	if c.HasConst {
+		return fmt.Errorf("bristol: circuit uses constant wires; lower them before export")
+	}
+	for i, o := range c.Outputs {
+		want := Wire(c.NumWires - len(c.Outputs) + i)
+		if o != want {
+			return fmt.Errorf("bristol: output %d is wire %d, want %d (outputs must be the last wires)", i, o, want)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", len(c.Gates), c.NumWires)
+	fmt.Fprintf(bw, "%d %d %d\n", c.GarblerInputs, c.EvaluatorInputs, len(c.Outputs))
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		switch g.Op {
+		case INV:
+			fmt.Fprintf(bw, "1 1 %d %d INV\n", g.A, g.C)
+		default:
+			fmt.Fprintf(bw, "2 1 %d %d %d %s\n", g.A, g.B, g.C, g.Op)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBristol parses a classic Bristol netlist.
+func ReadBristol(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var ngates, nwires int
+	if err := scanLine(sc, "header", &ngates, &nwires); err != nil {
+		return nil, err
+	}
+	var nin1, nin2, nout int
+	if err := scanLine(sc, "io header", &nin1, &nin2, &nout); err != nil {
+		return nil, err
+	}
+	c := &Circuit{
+		NumWires:        nwires,
+		GarblerInputs:   nin1,
+		EvaluatorInputs: nin2,
+		Gates:           make([]Gate, 0, ngates),
+	}
+	for len(c.Gates) < ngates {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("bristol: expected %d gates, got %d", ngates, len(c.Gates))
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		var g Gate
+		switch f[len(f)-1] {
+		case "AND", "XOR":
+			if len(f) != 6 {
+				return nil, fmt.Errorf("bristol: malformed 2-input gate %q", line)
+			}
+			var a, b, cc int
+			if _, err := fmt.Sscan(f[2], &a); err != nil {
+				return nil, fmt.Errorf("bristol: bad wire in %q: %w", line, err)
+			}
+			if _, err := fmt.Sscan(f[3], &b); err != nil {
+				return nil, fmt.Errorf("bristol: bad wire in %q: %w", line, err)
+			}
+			if _, err := fmt.Sscan(f[4], &cc); err != nil {
+				return nil, fmt.Errorf("bristol: bad wire in %q: %w", line, err)
+			}
+			g = Gate{A: Wire(a), B: Wire(b), C: Wire(cc)}
+			if f[len(f)-1] == "AND" {
+				g.Op = AND
+			} else {
+				g.Op = XOR
+			}
+		case "INV", "NOT":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("bristol: malformed INV gate %q", line)
+			}
+			var a, cc int
+			if _, err := fmt.Sscan(f[2], &a); err != nil {
+				return nil, fmt.Errorf("bristol: bad wire in %q: %w", line, err)
+			}
+			if _, err := fmt.Sscan(f[3], &cc); err != nil {
+				return nil, fmt.Errorf("bristol: bad wire in %q: %w", line, err)
+			}
+			g = Gate{Op: INV, A: Wire(a), C: Wire(cc)}
+		default:
+			return nil, fmt.Errorf("bristol: unsupported gate %q", line)
+		}
+		c.Gates = append(c.Gates, g)
+	}
+	c.Outputs = make([]Wire, nout)
+	for i := range c.Outputs {
+		c.Outputs[i] = Wire(nwires - nout + i)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bristol: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("bristol: parsed circuit invalid: %w", err)
+	}
+	return c, nil
+}
+
+func scanLine(sc *bufio.Scanner, what string, dst ...*int) error {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := make([]any, len(dst))
+		for i := range dst {
+			args[i] = dst[i]
+		}
+		if n, err := fmt.Sscan(line, args...); err != nil || n != len(dst) {
+			return fmt.Errorf("bristol: malformed %s line %q", what, line)
+		}
+		return nil
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("bristol: %w", err)
+	}
+	return fmt.Errorf("bristol: missing %s line", what)
+}

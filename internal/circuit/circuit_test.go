@@ -1,0 +1,344 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// xorAndCircuit builds the little example from the paper's Fig. 4/5:
+// wires 0,1,2 are inputs; gates produce 3..6.
+func xorAndCircuit() *Circuit {
+	return &Circuit{
+		NumWires:        8,
+		GarblerInputs:   2,
+		EvaluatorInputs: 2,
+		Gates: []Gate{
+			{Op: XOR, A: 1, B: 2, C: 4},
+			{Op: AND, A: 1, B: 2, C: 5},
+			{Op: XOR, A: 0, B: 3, C: 6},
+			{Op: AND, A: 3, B: 4, C: 7},
+		},
+		Outputs: []Wire{6, 7},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := xorAndCircuit().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := map[string]func(*Circuit){
+		"out of range input":  func(c *Circuit) { c.Gates[0].A = 99 },
+		"use before def":      func(c *Circuit) { c.Gates[0].A = 7 },
+		"double write":        func(c *Circuit) { c.Gates[1].C = 4 },
+		"write input wire":    func(c *Circuit) { c.Gates[0].C = 2 },
+		"output out of range": func(c *Circuit) { c.Outputs[0] = 99 },
+		"output never set":    func(c *Circuit) { c.NumWires = 9; c.Outputs[0] = 8 },
+	}
+	for name, mutate := range cases {
+		c := xorAndCircuit()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid circuit", name)
+		}
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	// Single gates, exhaustive over the 4 input combinations.
+	mk := func(op Op) *Circuit {
+		return &Circuit{
+			NumWires: 3, GarblerInputs: 1, EvaluatorInputs: 1,
+			Gates:   []Gate{{Op: op, A: 0, B: 1, C: 2}},
+			Outputs: []Wire{2},
+		}
+	}
+	for _, a := range []bool{false, true} {
+		for _, b := range []bool{false, true} {
+			outXor, err := mk(XOR).Eval([]bool{a}, []bool{b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if outXor[0] != (a != b) {
+				t.Fatalf("XOR(%v,%v) = %v", a, b, outXor[0])
+			}
+			outAnd, _ := mk(AND).Eval([]bool{a}, []bool{b})
+			if outAnd[0] != (a && b) {
+				t.Fatalf("AND(%v,%v) = %v", a, b, outAnd[0])
+			}
+		}
+		inv := &Circuit{NumWires: 2, GarblerInputs: 1,
+			Gates: []Gate{{Op: INV, A: 0, C: 1}}, Outputs: []Wire{1}}
+		out, _ := inv.Eval([]bool{a}, nil)
+		if out[0] != !a {
+			t.Fatalf("INV(%v) = %v", a, out[0])
+		}
+	}
+}
+
+func TestEvalConstWires(t *testing.T) {
+	c := &Circuit{
+		NumWires: 5, GarblerInputs: 1, EvaluatorInputs: 0,
+		HasConst: true, Const0: 1, Const1: 2,
+		Gates: []Gate{
+			{Op: XOR, A: 0, B: 2, C: 3}, // NOT x via const1
+			{Op: AND, A: 0, B: 1, C: 4}, // x & 0 == 0
+		},
+		Outputs: []Wire{3, 4},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Eval([]bool{true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false || out[1] != false {
+		t.Fatalf("const wires wrong: %v", out)
+	}
+}
+
+func TestEvalInputLengthChecked(t *testing.T) {
+	c := xorAndCircuit()
+	if _, err := c.Eval([]bool{true}, []bool{true, true}); err == nil {
+		t.Fatal("short garbler input accepted")
+	}
+	if _, err := c.Eval([]bool{true, true}, nil); err == nil {
+		t.Fatal("short evaluator input accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := xorAndCircuit()
+	s := c.ComputeStats()
+	if s.Gates != 4 || s.ANDGates != 2 {
+		t.Fatalf("gates=%d and=%d", s.Gates, s.ANDGates)
+	}
+	if s.Levels != 2 {
+		t.Fatalf("levels=%d, want 2", s.Levels)
+	}
+	if s.ILP != 2 {
+		t.Fatalf("ILP=%v, want 2", s.ILP)
+	}
+	if s.ANDPercent != 50 {
+		t.Fatalf("AND%%=%v", s.ANDPercent)
+	}
+}
+
+func TestLevelsMonotone(t *testing.T) {
+	c := xorAndCircuit()
+	levels := c.Levels()
+	// A consumer's level must exceed its producers'.
+	prodLevel := map[Wire]int{}
+	for i, g := range c.Gates {
+		if la, ok := prodLevel[g.A]; ok && levels[i] <= la {
+			t.Fatal("level not monotone")
+		}
+		prodLevel[g.C] = levels[i]
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	c := xorAndCircuit()
+	fan := c.FanOut()
+	if fan[1] != 2 || fan[2] != 2 {
+		t.Fatalf("input fanout wrong: %v", fan)
+	}
+	if fan[6] != 1 || fan[7] != 1 { // outputs get +1
+		t.Fatalf("output fanout wrong: %v", fan)
+	}
+}
+
+func TestBristolRoundTrip(t *testing.T) {
+	// Build a circuit whose outputs are the last wires (Bristol layout).
+	c := &Circuit{
+		NumWires: 7, GarblerInputs: 2, EvaluatorInputs: 1,
+		Gates: []Gate{
+			{Op: XOR, A: 0, B: 1, C: 3},
+			{Op: INV, A: 2, C: 4},
+			{Op: AND, A: 3, B: 4, C: 5},
+			{Op: XOR, A: 5, B: 0, C: 6},
+		},
+		Outputs: []Wire{5, 6},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBristol(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBristol(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumWires != c.NumWires || len(got.Gates) != len(c.Gates) {
+		t.Fatalf("round trip changed shape")
+	}
+	// Functional equivalence on all 8 input combinations.
+	for v := 0; v < 8; v++ {
+		g := []bool{v&1 == 1, v&2 == 2}
+		e := []bool{v&4 == 4}
+		a, _ := c.Eval(g, e)
+		bb, _ := got.Eval(g, e)
+		for i := range a {
+			if a[i] != bb[i] {
+				t.Fatalf("round trip changed semantics at input %d", v)
+			}
+		}
+	}
+}
+
+func TestBristolRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                            // empty
+		"1\n1 1 1\n",                  // short header
+		"1 3\n1 0 1\n2 1 0 1 2 NOR\n", // unknown gate
+		"2 3\n1 0 1\n2 1 0 1 2 AND\n", // missing gate
+		"1 3\n1 0 1\n2 1 0 9 2 AND\n", // wire out of range
+	}
+	for i, s := range bad {
+		if _, err := ReadBristol(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: malformed netlist accepted", i)
+		}
+	}
+}
+
+func TestBristolOutputsMustBeLast(t *testing.T) {
+	c := xorAndCircuit() // outputs 6,7 are last wires of 8 -> ok
+	var buf bytes.Buffer
+	if err := WriteBristol(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c.Outputs = []Wire{4, 5}
+	if err := WriteBristol(&buf, c); err == nil {
+		t.Fatal("non-final outputs accepted")
+	}
+}
+
+func TestPackHelpers(t *testing.T) {
+	f := func(v uint32) bool {
+		return BoolsToUint(UintToBools(uint64(v), 32)) == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := xorAndCircuit()
+	d := c.Clone()
+	d.Gates[0].Op = AND
+	d.Outputs[0] = 0
+	if c.Gates[0].Op != XOR || c.Outputs[0] != 6 {
+		t.Fatal("Clone shares memory with original")
+	}
+}
+
+func TestEvalUintWidths(t *testing.T) {
+	// 4-bit adder via explicit gates is overkill; use a tiny identity.
+	c := &Circuit{
+		NumWires: 8, GarblerInputs: 4,
+		Gates: []Gate{
+			{Op: XOR, A: 0, B: 1, C: 4},
+			{Op: XOR, A: 1, B: 2, C: 5},
+			{Op: XOR, A: 2, B: 3, C: 6},
+			{Op: XOR, A: 3, B: 0, C: 7},
+		},
+		Outputs: []Wire{4, 5, 6, 7},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		v := uint64(rng.Intn(16))
+		out, err := c.EvalUint([]uint64{v}, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (v>>0&1 ^ v>>1&1) | (v>>1&1^v>>2&1)<<1 | (v>>2&1^v>>3&1)<<2 | (v>>3&1^v>>0&1)<<3
+		if out[0] != want {
+			t.Fatalf("EvalUint = %d, want %d", out[0], want)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := xorAndCircuit()
+	b := &Circuit{
+		NumWires: 4, GarblerInputs: 1, EvaluatorInputs: 1,
+		HasConst: false,
+		Gates: []Gate{
+			{Op: AND, A: 0, B: 1, C: 2},
+			{Op: INV, A: 2, C: 3},
+		},
+		Outputs: []Wire{3},
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GarblerInputs != 3 || m.EvaluatorInputs != 3 {
+		t.Fatalf("merged inputs %d/%d", m.GarblerInputs, m.EvaluatorInputs)
+	}
+	if len(m.Outputs) != 3 {
+		t.Fatalf("merged outputs %d", len(m.Outputs))
+	}
+	// Exhaustive check: merged semantics == concatenated sub-circuits.
+	for v := 0; v < 64; v++ {
+		g := []bool{v&1 == 1, v&2 == 2, v&4 == 4}
+		e := []bool{v&8 == 8, v&16 == 16, v&32 == 32}
+		wantA, _ := a.Eval(g[:2], e[:2])
+		wantB, _ := b.Eval(g[2:], e[2:])
+		got, err := m.Eval(g, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append(append([]bool{}, wantA...), wantB...)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("v=%d: merged output %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestMergeSharedConstants(t *testing.T) {
+	mk := func() *Circuit {
+		return &Circuit{
+			NumWires: 4, GarblerInputs: 1,
+			HasConst: true, Const0: 1, Const1: 2,
+			Gates:   []Gate{{Op: XOR, A: 0, B: 2, C: 3}},
+			Outputs: []Wire{3},
+		}
+	}
+	m, err := Merge(mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasConst {
+		t.Fatal("merged circuit lost constants")
+	}
+	got, err := m.Eval([]bool{true, false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != false || got[1] != true {
+		t.Fatalf("merged const semantics wrong: %v", got)
+	}
+}
+
+func TestMergeRejectsInvalid(t *testing.T) {
+	bad := &Circuit{NumWires: 2, GarblerInputs: 1,
+		Gates:   []Gate{{Op: AND, A: 9, B: 0, C: 1}},
+		Outputs: []Wire{1}}
+	if _, err := Merge(bad); err == nil {
+		t.Fatal("invalid input accepted")
+	}
+	if _, err := Merge(); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+}

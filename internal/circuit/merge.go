@@ -1,0 +1,73 @@
+package circuit
+
+import "fmt"
+
+// Merge combines independent circuits into one: the batch-execution
+// primitive behind multi-instance workloads (N gradient-descent
+// problems, N inference requests) and the multi-core experiments.
+// Inputs are concatenated per party in argument order; outputs likewise.
+// Constant wires, if any circuit uses them, are shared.
+func Merge(cs ...*Circuit) (*Circuit, error) {
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("circuit: Merge needs at least one circuit")
+	}
+	out := &Circuit{}
+	needConst := false
+	var totalGates, totalWires int
+	for i, c := range cs {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("circuit: Merge input %d: %w", i, err)
+		}
+		out.GarblerInputs += c.GarblerInputs
+		out.EvaluatorInputs += c.EvaluatorInputs
+		if c.HasConst {
+			needConst = true
+		}
+		totalGates += len(c.Gates)
+		totalWires += c.NumWires
+	}
+	base := Wire(out.GarblerInputs + out.EvaluatorInputs)
+	if needConst {
+		out.HasConst = true
+		out.Const0 = base
+		out.Const1 = base + 1
+		base += 2
+	}
+
+	out.Gates = make([]Gate, 0, totalGates)
+	gOff, eOff := Wire(0), Wire(out.GarblerInputs)
+	next := base
+	for _, c := range cs {
+		remap := make([]Wire, c.NumWires)
+		for w := 0; w < c.GarblerInputs; w++ {
+			remap[w] = gOff + Wire(w)
+		}
+		for w := 0; w < c.EvaluatorInputs; w++ {
+			remap[c.GarblerInputs+w] = eOff + Wire(w)
+		}
+		if c.HasConst {
+			remap[c.Const0] = out.Const0
+			remap[c.Const1] = out.Const1
+		}
+		for i := range c.Gates {
+			g := c.Gates[i]
+			remap[g.C] = next
+			ng := Gate{Op: g.Op, A: remap[g.A], C: next}
+			if g.Op != INV {
+				ng.B = remap[g.B]
+			}
+			out.Gates = append(out.Gates, ng)
+			next++
+		}
+		for _, o := range c.Outputs {
+			out.Outputs = append(out.Outputs, remap[o])
+		}
+		gOff += Wire(c.GarblerInputs)
+		eOff += Wire(c.EvaluatorInputs)
+	}
+	out.NumWires = int(next)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: Merge produced invalid circuit: %w", err)
+	}
+	return out, nil
+}

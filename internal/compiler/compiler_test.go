@@ -1,0 +1,354 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"haac/internal/circuit"
+	"haac/internal/isa"
+	"haac/internal/workloads"
+)
+
+func smallCfg(mode ReorderMode) Config {
+	return Config{
+		Reorder:  mode,
+		ESW:      true,
+		SWWWires: 64,
+		NumGEs:   4,
+	}
+}
+
+// checkWorkload compiles and functionally executes a workload under the
+// given config, comparing against the native reference.
+func checkWorkload(t *testing.T, w workloads.Workload, cfg Config, seed int64) *Compiled {
+	t.Helper()
+	c := w.Build()
+	cp, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	g, e := w.Inputs(seed)
+	want := w.Reference(g, e)
+	in, err := cp.InputBits(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cp.Execute(in)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", w.Name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s (%v, seed %d): output bit %d mismatch", w.Name, cfg.Reorder, seed, i)
+		}
+	}
+	return cp
+}
+
+func TestAllPassesPreserveSemantics(t *testing.T) {
+	// Every workload x every reorder mode, with a tiny SWW to force OoR
+	// traffic and spills through every path.
+	for _, w := range workloads.VIPSuiteSmall() {
+		for _, mode := range []ReorderMode{Baseline, FullReorder, SegmentReorder} {
+			w, mode := w, mode
+			t.Run(w.Name+"/"+mode.String(), func(t *testing.T) {
+				checkWorkload(t, w, smallCfg(mode), 3)
+			})
+		}
+	}
+}
+
+func TestNoESWStillCorrect(t *testing.T) {
+	cfg := smallCfg(FullReorder)
+	cfg.ESW = false
+	cp := checkWorkload(t, workloads.DotProduct(4, 8), cfg, 1)
+	if cp.Traffic.LiveWires != len(cp.Program.Instrs) {
+		t.Fatal("without ESW all wires must be live")
+	}
+}
+
+func TestESWReducesLiveWires(t *testing.T) {
+	w := workloads.Hamming(256)
+	c := w.Build()
+	cfg := Config{Reorder: FullReorder, ESW: true, SWWWires: 4096, NumGEs: 4}
+	cp, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Traffic.LiveWires >= len(cp.Program.Instrs)/2 {
+		t.Fatalf("ESW kept %d/%d wires live; expected most wires spent",
+			cp.Traffic.LiveWires, len(cp.Program.Instrs))
+	}
+	if cp.Traffic.SpentPercent() < 50 {
+		t.Fatalf("spent%% = %.1f", cp.Traffic.SpentPercent())
+	}
+}
+
+func TestLargeSWWHasNoOoR(t *testing.T) {
+	// If the SWW covers the whole program there can be no OoR reads and
+	// only program outputs are live.
+	w := workloads.DotProduct(4, 8)
+	c := w.Build()
+	cfg := Config{Reorder: FullReorder, ESW: true, SWWWires: 1 << 20, NumGEs: 2}
+	cp, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Traffic.OoRWires != 0 {
+		t.Fatalf("OoR reads with whole-program SWW: %d", cp.Traffic.OoRWires)
+	}
+	if cp.Traffic.LiveWires != len(c.Outputs) {
+		t.Fatalf("live wires %d, want %d (outputs only)", cp.Traffic.LiveWires, len(c.Outputs))
+	}
+}
+
+func TestWindowLo(t *testing.T) {
+	n := 64
+	cases := []struct{ f, lo uint32 }{
+		{0, 0}, {32, 0}, {63, 0},
+		{64, 32}, {95, 32},
+		{96, 64}, {127, 64},
+		{128, 96},
+	}
+	for _, cse := range cases {
+		if got := WindowLo(cse.f, n); got != cse.lo {
+			t.Errorf("WindowLo(%d,%d) = %d, want %d", cse.f, n, got, cse.lo)
+		}
+	}
+	// Invariants: lo <= f, window covers f, lo advances monotonically in
+	// half-window steps.
+	f := func(v uint32) bool {
+		v %= 1 << 20
+		lo := WindowLo(v, n)
+		return lo <= v && v < lo+uint32(n) && lo%uint32(n/2) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenamingSequentialAndSkipsSentinel(t *testing.T) {
+	a := newAddrAllocator()
+	prev := uint32(0)
+	for i := 0; i < 3*(1<<isa.AddrBits); i++ {
+		v := a.alloc()
+		if v <= prev {
+			t.Fatal("addresses not increasing")
+		}
+		if v%(1<<isa.AddrBits) == 0 {
+			t.Fatalf("allocator produced sentinel-colliding address %d", v)
+		}
+		prev = v
+	}
+}
+
+func TestReorderLevelOrder(t *testing.T) {
+	// After full reorder, instruction dependence levels must be
+	// non-decreasing along the program.
+	w := workloads.DotProduct(4, 8)
+	c := w.Build()
+	cp, err := Compile(c, Config{Reorder: FullReorder, ESW: true, SWWWires: 1 << 20, NumGEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &cp.Program
+	lvl := make(map[uint32]int) // addr -> level
+	prev := 0
+	for j := range p.Instrs {
+		in := p.Instrs[j]
+		l := 0
+		if la, ok := lvl[in.A]; ok && la > l {
+			l = la
+		}
+		if lb, ok := lvl[in.B]; ok && lb > l {
+			l = lb
+		}
+		l++
+		lvl[p.OutAddrs[j]] = l
+		if l < prev {
+			t.Fatalf("instruction %d at level %d after level %d", j, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestPartitionConservation(t *testing.T) {
+	w := workloads.MatMult(3, 8)
+	c := w.Build()
+	cfg := smallCfg(SegmentReorder)
+	cp, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every instruction appears exactly once across streams.
+	seen := make([]bool, len(cp.Program.Instrs))
+	total := 0
+	for g, st := range cp.Streams {
+		prev := int32(-1)
+		for _, j := range st {
+			if seen[j] {
+				t.Fatalf("instruction %d in multiple streams", j)
+			}
+			seen[j] = true
+			total++
+			if j <= prev {
+				t.Fatalf("GE %d stream not in program order", g)
+			}
+			prev = j
+			if int(cp.GEOf[j]) != g {
+				t.Fatalf("GEOf mismatch for instruction %d", j)
+			}
+		}
+	}
+	if total != len(cp.Program.Instrs) {
+		t.Fatalf("streams carry %d instructions, program has %d", total, len(cp.Program.Instrs))
+	}
+	// Table queue depths must sum to the AND count.
+	ands := cp.Program.NumANDs()
+	sum := 0
+	for _, n := range cp.TablesPerGE {
+		sum += n
+	}
+	if sum != ands {
+		t.Fatalf("table queues hold %d, program has %d ANDs", sum, ands)
+	}
+}
+
+func TestSegmentVsFullTrafficTradeoff(t *testing.T) {
+	// The paper's Table 3: for a high-ILP workload, full reorder must
+	// generate at least as much wire traffic as segment reorder.
+	w := workloads.MatMult(4, 16)
+	c := w.Build()
+	base := Config{ESW: true, SWWWires: 2048, NumGEs: 4}
+
+	cfgSeg := base
+	cfgSeg.Reorder = SegmentReorder
+	seg, err := Compile(c, cfgSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFull := base
+	cfgFull.Reorder = FullReorder
+	full, err := Compile(c.Clone(), cfgFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Traffic.Total() < seg.Traffic.Total() {
+		t.Fatalf("full reorder traffic %d < segment %d; tradeoff inverted",
+			full.Traffic.Total(), seg.Traffic.Total())
+	}
+}
+
+func TestRandomCircuitsAllModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(rng, 6, 6, 200)
+		g := randBits(rng, 6)
+		e := randBits(rng, 6)
+		want, err := c.Eval(g, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []ReorderMode{Baseline, FullReorder, SegmentReorder} {
+			cp, err := Compile(c.Clone(), smallCfg(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := cp.InputBits(c, g, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cp.Execute(in)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, mode, err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %v: output %d mismatch", trial, mode, i)
+				}
+			}
+		}
+	}
+}
+
+func TestInvalidConfigsRejected(t *testing.T) {
+	c := workloads.AddN(4).Build()
+	if _, err := Compile(c, Config{SWWWires: 2, NumGEs: 1, Reorder: Baseline}); err == nil {
+		t.Fatal("tiny SWW accepted")
+	}
+	if _, err := Compile(c, Config{SWWWires: 64, NumGEs: 0, Reorder: Baseline}); err == nil {
+		t.Fatal("zero GEs accepted")
+	}
+	if _, err := Compile(c, Config{SWWWires: 64, NumGEs: 1, Reorder: ReorderMode(9)}); err == nil {
+		t.Fatal("unknown reorder mode accepted")
+	}
+}
+
+// randomCircuit mirrors the gc package's generator.
+func randomCircuit(rng *rand.Rand, ng, ne, gates int) *circuit.Circuit {
+	c := &circuit.Circuit{
+		NumWires:        ng + ne + gates,
+		GarblerInputs:   ng,
+		EvaluatorInputs: ne,
+	}
+	for i := 0; i < gates; i++ {
+		out := circuit.Wire(ng + ne + i)
+		a := circuit.Wire(rng.Intn(int(out)))
+		b := circuit.Wire(rng.Intn(int(out)))
+		op := []circuit.Op{circuit.XOR, circuit.AND, circuit.INV}[rng.Intn(3)]
+		c.Gates = append(c.Gates, circuit.Gate{Op: op, A: a, B: b, C: out})
+	}
+	for i := 0; i < 4; i++ {
+		c.Outputs = append(c.Outputs, circuit.Wire(c.NumWires-1-i))
+	}
+	return c
+}
+
+func randBits(rng *rand.Rand, n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = rng.Intn(2) == 1
+	}
+	return b
+}
+
+func TestAnalyzeReuse(t *testing.T) {
+	w := workloads.MatMult(4, 16)
+	c := w.Build()
+	cp, err := Compile(c, Config{Reorder: SegmentReorder, ESW: true, SWWWires: 1024, NumGEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cp.AnalyzeReuse([]int{64, 1024, 1 << 20})
+	if st.Reads == 0 {
+		t.Fatal("no reads analyzed")
+	}
+	if st.Median > st.P90 || st.P90 > st.P99 || st.P99 > st.Max {
+		t.Fatalf("percentiles not monotone: %+v", st)
+	}
+	// Coverage must be monotone in window size and complete for a
+	// window covering the whole program.
+	if st.CoveredBy[64] > st.CoveredBy[1024] || st.CoveredBy[1024] > st.CoveredBy[1<<20] {
+		t.Fatalf("coverage not monotone: %v", st.CoveredBy)
+	}
+	if st.CoveredBy[1<<20] < 0.999 {
+		t.Fatalf("whole-program window covers only %.3f", st.CoveredBy[1<<20])
+	}
+	// The paper's locality claim ("most generated wires are used by
+	// instructions that closely follow"): the median distance must be
+	// tiny relative to the program, and a 1024-wire window must keep the
+	// majority of the 48k-instruction program's reads resident.
+	if st.Median > 1024 {
+		t.Fatalf("median reuse distance %d; locality claim broken", st.Median)
+	}
+	if st.CoveredBy[1024] < 0.7 {
+		t.Fatalf("segment schedule locality too weak: %v\n%s", st.CoveredBy, st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

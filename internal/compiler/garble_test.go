@@ -1,0 +1,155 @@
+package compiler
+
+import (
+	"testing"
+
+	"haac/internal/gc"
+	"haac/internal/label"
+	"haac/internal/workloads"
+)
+
+// runGarbled executes a workload through the complete co-design path:
+// compile -> garble in program order (per-GE table queues) -> evaluate
+// by replaying the streams with real labels -> decode.
+func runGarbled(t *testing.T, w workloads.Workload, cfg Config, seed int64) {
+	t.Helper()
+	c := w.Build()
+	cp, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := gc.RekeyedHasher{}
+	pg, err := cp.Garble(h, label.NewSource(uint64(seed)*77+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, e := w.Inputs(seed)
+	want := w.Reference(g, e)
+	bits, err := cp.InputBits(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inLabels, err := pg.EncodeProgramInputs(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outLabels, err := cp.EvaluateLabels(h, inLabels, pg.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pg.Decode(outLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s %v: garbled output bit %d mismatch", w.Name, cfg.Reorder, i)
+		}
+	}
+}
+
+func TestGarbledProgramsMatchReference(t *testing.T) {
+	// The crown-jewel integration: real garbling through reordered,
+	// renamed, ESW'd, partitioned programs with a tiny SWW (forcing the
+	// OoRW-queue path), across every scheduling mode.
+	for _, w := range []workloads.Workload{
+		workloads.DotProduct(4, 8),
+		workloads.Hamming(64),
+		workloads.Millionaire(16),
+		workloads.Mersenne(4, 2),
+		workloads.ReLU(4, 16),
+	} {
+		for _, mode := range []ReorderMode{Baseline, FullReorder, SegmentReorder} {
+			w, mode := w, mode
+			t.Run(w.Name+"/"+mode.String(), func(t *testing.T) {
+				runGarbled(t, w, smallCfg(mode), 5)
+			})
+		}
+	}
+}
+
+func TestGarbledProgramFloat(t *testing.T) {
+	// Floating-point gradient descent under garbling: exercises INV
+	// lowering (synthetic const-one wire) through the garbled path.
+	runGarbled(t, workloads.GradDesc(2, 1), smallCfg(FullReorder), 3)
+}
+
+func TestGarbledCorruptTableQueueDetected(t *testing.T) {
+	w := workloads.Millionaire(8)
+	c := w.Build()
+	cp, err := Compile(c, smallCfg(FullReorder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := gc.RekeyedHasher{}
+	pg, err := cp.Garble(h, label.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, e := w.Inputs(2)
+	bits, _ := cp.InputBits(c, g, e)
+	inLabels, _ := pg.EncodeProgramInputs(bits)
+
+	// Corrupt both rows of every table: at least one corrupted row is
+	// guaranteed to be selected by some gate's colour bits.
+	for gq := range pg.Tables {
+		for i := range pg.Tables[gq] {
+			pg.Tables[gq][i].TE.Hi ^= 1 << 30
+			pg.Tables[gq][i].TG.Lo ^= 1 << 7
+		}
+	}
+	outLabels, err := cp.EvaluateLabels(h, inLabels, pg.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pg.Decode(outLabels); err == nil {
+		t.Fatal("corrupted table queue went undetected")
+	}
+}
+
+func TestGarbledTableQueueLengthChecked(t *testing.T) {
+	w := workloads.Millionaire(8)
+	c := w.Build()
+	cp, err := Compile(c, smallCfg(FullReorder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := gc.RekeyedHasher{}
+	pg, err := cp.Garble(h, label.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, e := w.Inputs(2)
+	bits, _ := cp.InputBits(c, g, e)
+	inLabels, _ := pg.EncodeProgramInputs(bits)
+	// Truncate a non-empty queue.
+	for gq := range pg.Tables {
+		if len(pg.Tables[gq]) > 0 {
+			pg.Tables[gq] = pg.Tables[gq][:len(pg.Tables[gq])-1]
+			break
+		}
+	}
+	if _, err := cp.EvaluateLabels(h, inLabels, pg.Tables); err == nil {
+		t.Fatal("truncated table queue accepted")
+	}
+}
+
+func TestGarbledDecodeBitsMatchColours(t *testing.T) {
+	w := workloads.AddN(8)
+	c := w.Build()
+	cp, err := Compile(c, smallCfg(Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := cp.Garble(gc.RekeyedHasher{}, label.NewSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pg.DecodeBits()
+	for i, z := range pg.OutputZeros {
+		if d[i] != z.Colour() {
+			t.Fatal("decode bit is not the zero-label colour")
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package compiler
+
+import (
+	"haac/internal/circuit"
+	"haac/internal/isa"
+)
+
+// aInstr is an assembled instruction still carrying circuit wire ids.
+type aInstr struct {
+	op   isa.Op
+	a, b uint32 // circuit wire ids
+	out  uint32 // circuit wire id
+}
+
+// asmState carries the program between passes.
+type asmState struct {
+	instrs []aInstr
+	// inputWires lists the circuit's input-like wires, in order, plus a
+	// synthetic constant-one wire if INV lowering required one.
+	inputWires []uint32
+	// synthConstOne is set when a constant-one wire was appended.
+	synthConstOne   bool
+	numCircuitWires int
+}
+
+// assemble lowers the circuit into HAAC's two-opcode form (§3.1.3) —
+// XOR and AND survive, INV becomes XOR with a constant-one wire — and
+// then rewrites the gate list into the depth-first schedule EMP-produced
+// netlists have (§4.2.1: "instructions are scheduled following a
+// depth-first circuit traversal, i.e., in tight producer-consumer
+// relationships"). That order is the paper's Baseline; the reordering
+// passes start from it.
+func assemble(c *circuit.Circuit) *asmState {
+	s := assembleRaw(c)
+	s.depthFirst(c)
+	return s
+}
+
+func assembleRaw(c *circuit.Circuit) *asmState {
+	s := &asmState{numCircuitWires: c.NumWires}
+	nin := c.NumInputs()
+	for w := 0; w < nin; w++ {
+		s.inputWires = append(s.inputWires, uint32(w))
+	}
+
+	constOne := uint32(0)
+	haveConst := false
+	if c.HasConst {
+		constOne = c.Const1
+		haveConst = true
+	}
+	s.instrs = make([]aInstr, 0, len(c.Gates))
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		switch g.Op {
+		case circuit.XOR:
+			s.instrs = append(s.instrs, aInstr{op: isa.XOR, a: g.A, b: g.B, out: g.C})
+		case circuit.AND:
+			s.instrs = append(s.instrs, aInstr{op: isa.AND, a: g.A, b: g.B, out: g.C})
+		case circuit.INV:
+			if !haveConst {
+				// Append a synthetic constant-one input wire.
+				constOne = uint32(s.numCircuitWires)
+				s.numCircuitWires++
+				s.inputWires = append(s.inputWires, constOne)
+				s.synthConstOne = true
+				haveConst = true
+			}
+			s.instrs = append(s.instrs, aInstr{op: isa.XOR, a: g.A, b: constOne, out: g.C})
+		}
+	}
+	return s
+}
+
+// depthFirst rewrites the instruction list into a depth-first traversal
+// from the circuit outputs: each gate is emitted immediately after the
+// subtrees producing its operands, yielding the tight producer-consumer
+// chains characteristic of EMP netlists. Gates that feed no output
+// (dead code kept for fidelity) are traversed afterwards in original
+// order. The result is a valid execution order.
+func (s *asmState) depthFirst(c *circuit.Circuit) {
+	n := len(s.instrs)
+	if n == 0 {
+		return
+	}
+	// Producing instruction per wire (-1 for inputs).
+	prod := make([]int32, s.numCircuitWires)
+	for i := range prod {
+		prod[i] = -1
+	}
+	for i := range s.instrs {
+		prod[s.instrs[i].out] = int32(i)
+	}
+
+	order := make([]aInstr, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 expanded, 2 emitted
+	var stack []int32
+
+	visit := func(root int32) {
+		if root < 0 || state[root] == 2 {
+			return
+		}
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			g := stack[len(stack)-1]
+			if state[g] == 2 {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if state[g] == 1 {
+				state[g] = 2
+				order = append(order, s.instrs[g])
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			state[g] = 1
+			in := &s.instrs[g]
+			// Push operand producers (b first so a's subtree emits
+			// first, keeping left-to-right evaluation order).
+			if pb := prod[in.b]; pb >= 0 && state[pb] != 2 {
+				stack = append(stack, pb)
+			}
+			if pa := prod[in.a]; pa >= 0 && state[pa] != 2 {
+				stack = append(stack, pa)
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		visit(prod[o])
+	}
+	for i := 0; i < n; i++ {
+		if state[i] != 2 {
+			visit(int32(i))
+		}
+	}
+	s.instrs = order
+}
+
+// reorder rewrites the instruction list in dependence-level order within
+// consecutive segments of segSize instructions (§4.2.1). segSize >= the
+// program length gives Full Reorder. The sort is stable within a level,
+// preserving the baseline's locality as a tiebreak.
+func (s *asmState) reorder(segSize int) {
+	if segSize < 1 {
+		segSize = 1
+	}
+	wlvl := make([]int32, s.numCircuitWires)
+	wseg := make([]int32, s.numCircuitWires)
+	for i := range wseg {
+		wseg[i] = -1
+	}
+	out := make([]aInstr, 0, len(s.instrs))
+	var levels []int32
+	var buckets [][]int32
+
+	for segStart := 0; segStart < len(s.instrs); segStart += segSize {
+		end := segStart + segSize
+		if end > len(s.instrs) {
+			end = len(s.instrs)
+		}
+		seg := s.instrs[segStart:end]
+		segID := int32(segStart)
+
+		levels = levels[:0]
+		maxLvl := int32(0)
+		for i := range seg {
+			in := &seg[i]
+			var l int32
+			if wseg[in.a] == segID {
+				l = wlvl[in.a]
+			}
+			if wseg[in.b] == segID && wlvl[in.b] > l {
+				l = wlvl[in.b]
+			}
+			l++
+			wlvl[in.out] = l
+			wseg[in.out] = segID
+			levels = append(levels, l)
+			if l > maxLvl {
+				maxLvl = l
+			}
+		}
+		// Bucket the segment's instructions by level, preserving order.
+		if cap(buckets) < int(maxLvl)+1 {
+			buckets = make([][]int32, maxLvl+1)
+		}
+		buckets = buckets[:maxLvl+1]
+		for i := range buckets {
+			buckets[i] = buckets[i][:0]
+		}
+		for i, l := range levels {
+			buckets[l] = append(buckets[l], int32(i))
+		}
+		for l := int32(1); l <= maxLvl; l++ {
+			for _, i := range buckets[l] {
+				out = append(out, seg[i])
+			}
+		}
+	}
+	s.instrs = out
+}
+
+// addrAllocator hands out logical wire addresses, starting at 1 and
+// skipping multiples of 2^17 so no in-range wire can alias the OoR
+// sentinel after 17-bit truncation (see package isa).
+type addrAllocator struct{ next uint32 }
+
+func newAddrAllocator() *addrAllocator { return &addrAllocator{next: 1} }
+
+func (a *addrAllocator) alloc() uint32 {
+	if a.next%(1<<isa.AddrBits) == 0 {
+		a.next++
+	}
+	v := a.next
+	a.next++
+	return v
+}
+
+// rename performs the §4.2.2 pass: every input wire and then every
+// instruction output, in (post-reorder) program order, receives the next
+// sequential logical address; instruction inputs are rewritten through
+// the resulting map. This is what makes the SWW's contiguous window
+// meaningful and lets hardware derive output addresses from the PC.
+func (s *asmState) rename(c *circuit.Circuit) isa.Program {
+	alloc := newAddrAllocator()
+	addrOf := make([]uint32, s.numCircuitWires)
+
+	p := isa.Program{
+		NumInputs:  len(s.inputWires),
+		InputAddrs: make([]uint32, len(s.inputWires)),
+		Instrs:     make([]isa.Instr, len(s.instrs)),
+		OutAddrs:   make([]uint32, len(s.instrs)),
+	}
+	for i, w := range s.inputWires {
+		a := alloc.alloc()
+		addrOf[w] = a
+		p.InputAddrs[i] = a
+	}
+	for i := range s.instrs {
+		in := &s.instrs[i]
+		p.Instrs[i] = isa.Instr{
+			Op: in.op,
+			A:  addrOf[in.a],
+			B:  addrOf[in.b],
+		}
+		o := alloc.alloc()
+		addrOf[in.out] = o
+		p.OutAddrs[i] = o
+	}
+	p.OutputAddrs = make([]uint32, len(c.Outputs))
+	for i, o := range c.Outputs {
+		p.OutputAddrs[i] = addrOf[o]
+	}
+	p.MaxAddr = alloc.next - 1
+	return p
+}
+
+// markOoRAndLive classifies every instruction input as in-window or
+// out-of-range under the SWW sliding model (§3.1.4) and computes the
+// live bits (§4.2.3): an output is live exactly when some later
+// instruction reads it as OoR, or when it is a program output. The
+// instruction fields of OoR inputs are replaced by the reserved address
+// 0; the original addresses are kept aside to fill the OoRW queues.
+func (cp *Compiled) markOoRAndLive(cfg Config) {
+	p := &cp.Program
+	n := cfg.SWWWires
+
+	// addr -> producing instruction (or -1 for inputs).
+	prodOf := make([]int32, p.MaxAddr+1)
+	for i := range prodOf {
+		prodOf[i] = -1
+	}
+	for i, o := range p.OutAddrs {
+		prodOf[o] = int32(i)
+	}
+
+	cp.oorA = make([]uint32, len(p.Instrs))
+	cp.oorB = make([]uint32, len(p.Instrs))
+	live := make([]bool, len(p.Instrs))
+
+	oorReads := 0
+	for j := range p.Instrs {
+		in := &p.Instrs[j]
+		if in.Op == isa.NOP {
+			continue
+		}
+		lo := WindowLo(p.OutAddrs[j], n)
+		if cfg.NoSWW {
+			lo = ^uint32(0) // nothing is ever resident: all reads OoR
+		}
+		if in.A < lo {
+			cp.oorA[j] = in.A
+			if pr := prodOf[in.A]; pr >= 0 {
+				live[pr] = true
+			}
+			in.A = isa.OoR
+			oorReads++
+		}
+		if in.B < lo {
+			cp.oorB[j] = in.B
+			if pr := prodOf[in.B]; pr >= 0 {
+				live[pr] = true
+			}
+			in.B = isa.OoR
+			oorReads++
+		}
+	}
+	for _, o := range p.OutputAddrs {
+		if pr := prodOf[o]; pr >= 0 {
+			live[pr] = true
+		}
+	}
+	liveCount := 0
+	for j := range p.Instrs {
+		if live[j] {
+			p.Instrs[j].Live = true
+			liveCount++
+		}
+	}
+	cp.Traffic = Traffic{
+		LiveWires: liveCount,
+		OoRWires:  oorReads,
+		Outputs:   len(p.Instrs),
+	}
+}
+
+// partition runs the §4.1 stream-generation step: a greedy list
+// scheduler walks the program in order and assigns each instruction to
+// the gate engine that can issue it earliest (matching "mapping
+// instructions ... to non-stalled GEs each cycle"). The resulting per-GE
+// streams, table queues and OoRW queues are exactly what the hardware
+// replays; the cycle simulator re-derives timing from them.
+func (cp *Compiled) partition() {
+	p := &cp.Program
+	cfg := cp.Cfg
+	nge := cfg.NumGEs
+	andLat := int64(cfg.ANDLatency())
+
+	ready := make([]int64, p.MaxAddr+1) // cycle the wire's value is usable
+	geFree := make([]int64, nge)
+	cp.GEOf = make([]uint8, len(p.Instrs))
+	cp.Streams = make([][]int32, nge)
+	cp.OoRW = make([][]uint32, nge)
+	cp.TablesPerGE = make([]int, nge)
+
+	for j := range p.Instrs {
+		in := &p.Instrs[j]
+		var t0 int64
+		if in.Op != isa.NOP {
+			a := in.A
+			if a == isa.OoR {
+				a = cp.oorA[j]
+			}
+			b := in.B
+			if b == isa.OoR {
+				b = cp.oorB[j]
+			}
+			t0 = ready[a]
+			if rb := ready[b]; rb > t0 {
+				t0 = rb
+			}
+		}
+		// The paper's distributor hands the next program instruction to
+		// the first GE that is not stalled (§4.1); the chosen in-order
+		// engine then blocks until the operands are ready. Operand
+		// readiness does NOT steer the choice — that head-of-line
+		// behaviour is what makes baseline (depth-first) schedules slow
+		// and reordering valuable (§4.2.1).
+		g := 0
+		for k := 1; k < nge; k++ {
+			if geFree[k] < geFree[g] {
+				g = k
+			}
+		}
+		issue := geFree[g]
+		if t0 > issue {
+			issue = t0 // the GE sits stalled until the operands arrive
+		}
+		geFree[g] = issue + 1
+		lat := int64(XORLatency)
+		if in.Op == isa.AND {
+			lat = andLat
+			cp.TablesPerGE[g]++
+		}
+		ready[p.OutAddrs[j]] = issue + lat
+		cp.GEOf[j] = uint8(g)
+		cp.Streams[g] = append(cp.Streams[g], int32(j))
+		if cp.oorA[j] != 0 {
+			cp.OoRW[g] = append(cp.OoRW[g], cp.oorA[j])
+		}
+		if cp.oorB[j] != 0 {
+			cp.OoRW[g] = append(cp.OoRW[g], cp.oorB[j])
+		}
+	}
+}

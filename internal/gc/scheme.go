@@ -1,0 +1,203 @@
+// Package gc implements the garbling scheme HAAC accelerates: FreeXOR
+// [Kolesnikov-Schneider] for XOR gates and the two-halves ("half-gate")
+// construction [Zahur-Rosulek-Evans] for AND gates, using the re-keyed
+// hash the paper adopts for security (§2.1): every AND gate derives two
+// fresh AES keys from its gate index, paying two key expansions per gate
+// exactly as HAAC's Half-Gate pipeline does.
+//
+// The package provides in-memory garbling/evaluation (the functional
+// golden model for the compiler and simulator) and streaming variants
+// used by the two-party protocol in internal/proto.
+package gc
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"fmt"
+
+	"haac/internal/label"
+)
+
+// Material is the garbled table of one AND gate: the two half-gate rows.
+// At 32 bytes per AND gate this is the paper's per-gate "table"
+// constant, the unit of the accelerator's table stream.
+type Material struct {
+	TG, TE label.L
+}
+
+// MaterialSize is the byte size of one AND-gate table.
+const MaterialSize = 2 * label.Size
+
+// Bytes serializes the material (TG then TE, little-endian labels).
+func (m Material) Bytes() [MaterialSize]byte {
+	var b [MaterialSize]byte
+	m.TG.Put(b[0:16])
+	m.TE.Put(b[16:32])
+	return b
+}
+
+// MaterialFromBytes deserializes a Material.
+func MaterialFromBytes(b []byte) Material {
+	return Material{
+		TG: label.FromBytes(b[0:16]),
+		TE: label.FromBytes(b[16:32]),
+	}
+}
+
+// Hasher computes the gate-tweakable hash H(L, tweak) used to encrypt
+// half-gate rows. Implementations differ in how keys relate to tweaks.
+type Hasher interface {
+	Hash(l label.L, tweak uint64) label.L
+	// Name identifies the construction for benchmarks/reporting.
+	Name() string
+}
+
+// RekeyedHasher is the paper's secure construction: the AES key is the
+// tweak (gate-index-derived), so every call pays a key expansion —
+// H(L, t) = AES_{K(t)}(L) XOR L. This is what HAAC's hardware pipeline
+// implements (key expansion + AES per hash).
+type RekeyedHasher struct{}
+
+// Hash implements Hasher.
+func (RekeyedHasher) Hash(l label.L, tweak uint64) label.L {
+	var key [16]byte
+	binary.LittleEndian.PutUint64(key[0:8], tweak)
+	binary.LittleEndian.PutUint64(key[8:16], ^tweak)
+	blk, err := aes.NewCipher(key[:]) // key expansion: the re-keying cost
+	if err != nil {
+		panic("gc: aes.NewCipher: " + err.Error())
+	}
+	in := l.Bytes()
+	var out [16]byte
+	blk.Encrypt(out[:], in[:])
+	return label.FromBytes(out[:]).Xor(l)
+}
+
+// Name implements Hasher.
+func (RekeyedHasher) Name() string { return "rekeyed" }
+
+// FixedKeyHasher is the classic fixed-key construction (JustGarble
+// style): H(L, t) = AES_K(2L xor t) xor 2L xor t with one global key.
+// It is faster but, as the paper notes, offers weaker concrete security;
+// it exists here to reproduce the §2.1 "+27.5%" re-keying overhead
+// comparison.
+type FixedKeyHasher struct {
+	blk interface{ Encrypt(dst, src []byte) }
+}
+
+// NewFixedKeyHasher builds a FixedKeyHasher with the given global key.
+func NewFixedKeyHasher(key [16]byte) *FixedKeyHasher {
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("gc: aes.NewCipher: " + err.Error())
+	}
+	return &FixedKeyHasher{blk: blk}
+}
+
+// Hash implements Hasher.
+func (h *FixedKeyHasher) Hash(l label.L, tweak uint64) label.L {
+	d := label.L{Lo: l.Lo<<1 ^ tweak, Hi: l.Hi<<1 | l.Lo>>63}
+	in := d.Bytes()
+	var out [16]byte
+	h.blk.Encrypt(out[:], in[:])
+	return label.FromBytes(out[:]).Xor(d)
+}
+
+// Name implements Hasher.
+func (h *FixedKeyHasher) Name() string { return "fixed-key" }
+
+// GarbleAND garbles a single AND gate: given the input zero-labels and
+// the FreeXOR offset it returns the gate's table and output zero-label.
+// tweak must be unique per gate (HAAC uses the instruction's output
+// wire address, which the PC determines). Exported for the HAAC
+// compiler's program-order garbling.
+func GarbleAND(h Hasher, a0, b0, r label.L, tweak uint64) (Material, label.L) {
+	return garbleAND(h, a0, b0, r, tweak)
+}
+
+// EvalAND evaluates a single AND gate from the active input labels and
+// the gate's table, under the same tweak used to garble it.
+func EvalAND(h Hasher, a, b label.L, m Material, tweak uint64) label.L {
+	return evalAND(h, a, b, m, tweak)
+}
+
+// garbleAND produces the two half-gate rows and the output zero-label
+// for an AND gate with input zero-labels a0, b0 under offset r.
+// Gate index j provides the two hash tweaks 2j and 2j+1.
+func garbleAND(h Hasher, a0, b0, r label.L, j uint64) (Material, label.L) {
+	pa := a0.Colour()
+	pb := b0.Colour()
+	a1 := a0.Xor(r)
+	b1 := b0.Xor(r)
+	t0, t1 := 2*j, 2*j+1
+
+	ha0 := h.Hash(a0, t0)
+	ha1 := h.Hash(a1, t0)
+	hb0 := h.Hash(b0, t1)
+	hb1 := h.Hash(b1, t1)
+
+	// Garbler half: handles the evaluator-known colour of wire A.
+	tg := ha0.Xor(ha1)
+	if pb == 1 {
+		tg = tg.Xor(r)
+	}
+	wg := ha0
+	if pa == 1 {
+		wg = wg.Xor(tg)
+	}
+
+	// Evaluator half.
+	te := hb0.Xor(hb1).Xor(a0)
+	we := hb0
+	if pb == 1 {
+		we = we.Xor(te.Xor(a0))
+	}
+
+	return Material{TG: tg, TE: te}, wg.Xor(we)
+}
+
+// evalAND computes the output label from the two input labels and the
+// gate's table, using the labels' colour bits to select rows.
+func evalAND(h Hasher, a, b label.L, m Material, j uint64) label.L {
+	sa := a.Colour()
+	sb := b.Colour()
+	t0, t1 := 2*j, 2*j+1
+
+	wg := h.Hash(a, t0)
+	if sa == 1 {
+		wg = wg.Xor(m.TG)
+	}
+	we := h.Hash(b, t1)
+	if sb == 1 {
+		we = we.Xor(m.TE.Xor(a))
+	}
+	return wg.Xor(we)
+}
+
+// checkHalfGates validates the construction over all four plaintext
+// input combinations; used by tests and the package's own init-time
+// self-check in debug builds.
+func checkHalfGates(h Hasher, a0, b0, r label.L, j uint64) error {
+	m, c0 := garbleAND(h, a0, b0, r, j)
+	for va := 0; va < 2; va++ {
+		for vb := 0; vb < 2; vb++ {
+			a := a0
+			if va == 1 {
+				a = a.Xor(r)
+			}
+			b := b0
+			if vb == 1 {
+				b = b.Xor(r)
+			}
+			got := evalAND(h, a, b, m, j)
+			want := c0
+			if va&vb == 1 {
+				want = want.Xor(r)
+			}
+			if got != want {
+				return fmt.Errorf("gc: half-gate mismatch at a=%d b=%d", va, vb)
+			}
+		}
+	}
+	return nil
+}

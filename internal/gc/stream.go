@@ -1,0 +1,160 @@
+package gc
+
+import (
+	"fmt"
+
+	"haac/internal/circuit"
+	"haac/internal/label"
+)
+
+// Streaming garbling/evaluation: tables are produced and consumed gate
+// by gate, so the two-party protocol can overlap garbling, transfer and
+// evaluation instead of materializing all tables — mirroring how HAAC
+// streams tables from DRAM through the table queues.
+
+// StreamGarbler garbles incrementally. Construct with NewStreamGarbler,
+// pull the input labels, then call Next once per AND gate table in gate
+// order.
+type StreamGarbler struct {
+	c          *circuit.Circuit
+	h          Hasher
+	r          label.L
+	wires      []label.L
+	inputZeros []label.L
+	pos        int    // next gate index in c.Gates
+	andIdx     uint64 // AND gates emitted so far
+}
+
+// NewStreamGarbler initializes garbling: input labels are generated
+// eagerly, gate processing is deferred to Next.
+func NewStreamGarbler(c *circuit.Circuit, h Hasher, src *label.Source) (*StreamGarbler, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("gc: %w", err)
+	}
+	g := &StreamGarbler{c: c, h: h, r: src.NextDelta()}
+	nin := c.NumInputs()
+	g.wires = make([]label.L, c.NumWires)
+	g.inputZeros = make([]label.L, nin)
+	for i := 0; i < nin; i++ {
+		g.wires[i] = src.Next()
+		g.inputZeros[i] = g.wires[i]
+	}
+	return g, nil
+}
+
+// R returns the FreeXOR offset.
+func (g *StreamGarbler) R() label.L { return g.r }
+
+// InputZeros returns the zero-labels of all input-like wires.
+func (g *StreamGarbler) InputZeros() []label.L { return g.inputZeros }
+
+// Next processes gates until the next AND gate and returns its table.
+// ok is false when the circuit is exhausted (all remaining gates are
+// processed as a side effect).
+func (g *StreamGarbler) Next() (m Material, ok bool) {
+	for g.pos < len(g.c.Gates) {
+		gate := &g.c.Gates[g.pos]
+		g.pos++
+		switch gate.Op {
+		case circuit.XOR:
+			g.wires[gate.C] = g.wires[gate.A].Xor(g.wires[gate.B])
+		case circuit.INV:
+			g.wires[gate.C] = g.wires[gate.A].Xor(g.r)
+		case circuit.AND:
+			var c0 label.L
+			m, c0 = garbleAND(g.h, g.wires[gate.A], g.wires[gate.B], g.r, g.andIdx)
+			g.wires[gate.C] = c0
+			g.andIdx++
+			return m, true
+		}
+	}
+	return Material{}, false
+}
+
+// Finish returns the garbled-circuit summary; valid only after Next has
+// returned ok=false (or the circuit has no AND gates left).
+func (g *StreamGarbler) Finish() *Garbled {
+	outs := make([]label.L, len(g.c.Outputs))
+	for i, o := range g.c.Outputs {
+		outs[i] = g.wires[o]
+	}
+	tablesDone := g.pos == len(g.c.Gates)
+	if !tablesDone {
+		// Drain any trailing free gates.
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+		}
+		outs = make([]label.L, len(g.c.Outputs))
+		for i, o := range g.c.Outputs {
+			outs[i] = g.wires[o]
+		}
+	}
+	return &Garbled{R: g.r, InputZeros: g.inputZeros, OutputZeros: outs}
+}
+
+// StreamEvaluator evaluates incrementally, pulling one table per AND
+// gate from a caller-supplied source.
+type StreamEvaluator struct {
+	c      *circuit.Circuit
+	h      Hasher
+	wires  []label.L
+	pos    int
+	andIdx uint64
+}
+
+// NewStreamEvaluator starts evaluation from the active input labels.
+func NewStreamEvaluator(c *circuit.Circuit, h Hasher, inputs []label.L) (*StreamEvaluator, error) {
+	if len(inputs) != c.NumInputs() {
+		return nil, fmt.Errorf("gc: got %d input labels, want %d", len(inputs), c.NumInputs())
+	}
+	e := &StreamEvaluator{c: c, h: h}
+	e.wires = make([]label.L, c.NumWires)
+	copy(e.wires, inputs)
+	return e, nil
+}
+
+// NeedTable reports whether another AND gate (hence another table) is
+// pending, advancing through any free gates on the way.
+func (e *StreamEvaluator) NeedTable() bool {
+	for e.pos < len(e.c.Gates) {
+		gate := &e.c.Gates[e.pos]
+		switch gate.Op {
+		case circuit.XOR:
+			e.wires[gate.C] = e.wires[gate.A].Xor(e.wires[gate.B])
+		case circuit.INV:
+			e.wires[gate.C] = e.wires[gate.A]
+		case circuit.AND:
+			return true
+		}
+		e.pos++
+	}
+	return false
+}
+
+// Feed consumes the table for the pending AND gate. Calling Feed when no
+// table is needed is an error.
+func (e *StreamEvaluator) Feed(m Material) error {
+	if !e.NeedTable() {
+		return fmt.Errorf("gc: unexpected table (no AND gate pending)")
+	}
+	gate := &e.c.Gates[e.pos]
+	e.wires[gate.C] = evalAND(e.h, e.wires[gate.A], e.wires[gate.B], m, e.andIdx)
+	e.andIdx++
+	e.pos++
+	return nil
+}
+
+// Outputs returns the active output labels; valid once NeedTable
+// reports false.
+func (e *StreamEvaluator) Outputs() ([]label.L, error) {
+	if e.NeedTable() {
+		return nil, fmt.Errorf("gc: evaluation incomplete (%d gates remain)", len(e.c.Gates)-e.pos)
+	}
+	out := make([]label.L, len(e.c.Outputs))
+	for i, o := range e.c.Outputs {
+		out[i] = e.wires[o]
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(op uint8, a, b uint32, live bool) bool {
+		in := Instr{Op: Op(op % 3), A: a & AddrMask, B: b & AddrMask, Live: live}
+		return Unpack(in.Pack()) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackTruncatesTo17Bits(t *testing.T) {
+	in := Instr{Op: AND, A: 5 + 1<<AddrBits, B: 9 + 2<<AddrBits, Live: true}
+	out := Unpack(in.Pack())
+	if out.A != 5 || out.B != 9 {
+		t.Fatalf("truncation wrong: %+v", out)
+	}
+}
+
+func TestPackedFits37Bits(t *testing.T) {
+	in := Instr{Op: AND, A: AddrMask, B: AddrMask, Live: true}
+	if in.Pack() >= 1<<37 {
+		t.Fatalf("packed form exceeds 37 bits: %#x", in.Pack())
+	}
+}
+
+func validProgram() *Program {
+	return &Program{
+		NumInputs:   3,
+		InputAddrs:  []uint32{1, 2, 3},
+		Instrs:      []Instr{{Op: XOR, A: 1, B: 2}, {Op: AND, A: 3, B: 4, Live: true}, {Op: XOR, A: OoR, B: 5}},
+		OutAddrs:    []uint32{4, 5, 6},
+		OutputAddrs: []uint32{6},
+		MaxAddr:     6,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Program){
+		"non-increasing outputs": func(p *Program) { p.OutAddrs[1] = 4 },
+		"undefined read":         func(p *Program) { p.Instrs[0].A = 99 },
+		"zero input addr":        func(p *Program) { p.InputAddrs[0] = 0 },
+		"undefined output":       func(p *Program) { p.OutputAddrs[0] = 99 },
+		"sentinel collision":     func(p *Program) { p.OutAddrs[2] = 1 << AddrBits; p.MaxAddr = 1 << AddrBits },
+		"length mismatch":        func(p *Program) { p.OutAddrs = p.OutAddrs[:2] },
+	}
+	for name, mutate := range cases {
+		p := validProgram()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := validProgram()
+	if p.NumANDs() != 1 {
+		t.Fatalf("NumANDs = %d", p.NumANDs())
+	}
+	if p.LiveCount() != 1 {
+		t.Fatalf("LiveCount = %d", p.LiveCount())
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	p := validProgram()
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumInputs != p.NumInputs || got.MaxAddr != p.MaxAddr ||
+		len(got.Instrs) != len(p.Instrs) {
+		t.Fatalf("header fields changed: %+v", got)
+	}
+	for i := range p.Instrs {
+		if got.Instrs[i] != p.Instrs[i] {
+			t.Fatalf("instruction %d changed: %+v vs %+v", i, got.Instrs[i], p.Instrs[i])
+		}
+	}
+	for i := range p.OutAddrs {
+		if got.OutAddrs[i] != p.OutAddrs[i] {
+			t.Fatal("out addrs changed")
+		}
+	}
+}
+
+func TestReadProgramRejectsGarbage(t *testing.T) {
+	if _, err := ReadProgram(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Unreasonable header sizes must be rejected, not allocated.
+	var buf bytes.Buffer
+	p := validProgram()
+	p.WriteTo(&buf)
+	b := buf.Bytes()
+	b[0] = 0xff
+	b[7] = 0xff // nInstr enormous
+	if _, err := ReadProgram(bytes.NewReader(b)); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if NOP.String() != "NOP" || XOR.String() != "XOR" || AND.String() != "AND" {
+		t.Fatal("op mnemonics wrong")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := map[string]Instr{
+		"NOP":                  {Op: NOP},
+		"XOR w1, w2":           {Op: XOR, A: 1, B: 2},
+		"AND w3, [OoRW] !live": {Op: AND, A: 3, B: OoR, Live: true},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := validProgram()
+	var buf bytes.Buffer
+	if err := Disassemble(&buf, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{".inputs w1 w2 w3", "w4", "AND w3, w4 !live", ".outputs w6"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+	// Truncation.
+	buf.Reset()
+	if err := Disassemble(&buf, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 more instructions") {
+		t.Fatal("truncation marker missing")
+	}
+}

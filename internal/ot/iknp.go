@@ -1,0 +1,204 @@
+package ot
+
+import (
+	"crypto/aes"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"haac/internal/label"
+)
+
+// IKNP oblivious-transfer extension (Ishai-Kilian-Nissim-Petrank,
+// semi-honest variant): k = 128 base OTs in the reverse direction are
+// stretched into any number of transfers using only symmetric
+// cryptography — the construction EMP and every practical GC framework
+// use, since evaluator inputs routinely number in the tens of thousands
+// (Hamm's 40960 input bits would need 40960 public-key operations with
+// plain DH OT).
+//
+// Roles: the extension sender holds the message pairs; internally it
+// plays the *receiver* of the k base OTs with a random choice vector s.
+// The extension receiver plays the base sender with random seed pairs.
+// Columns are expanded from the seeds with AES-CTR; rows are hashed with
+// SHA-256 to break correlations.
+
+const (
+	kappa    = 128 // security parameter / base-OT count
+	rowWords = kappa / 64
+)
+
+type row [rowWords]uint64
+
+func (r *row) xor(o row) {
+	for i := range r {
+		r[i] ^= o[i]
+	}
+}
+
+// prgExpand stretches a 16-byte seed into nBytes of pseudorandomness
+// with AES-128 in counter mode.
+func prgExpand(seed label.L, nBytes int) []byte {
+	var key [16]byte
+	seed.Put(key[:])
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("ot: aes.NewCipher: " + err.Error())
+	}
+	out := make([]byte, (nBytes+15)/16*16)
+	var ctr [16]byte
+	for i := 0; i < len(out); i += 16 {
+		binary.LittleEndian.PutUint64(ctr[:8], uint64(i/16))
+		blk.Encrypt(out[i:i+16], ctr[:])
+	}
+	return out[:nBytes]
+}
+
+// rowHash breaks the correlation between rows: H(j, q) truncated to a
+// label.
+func rowHash(j uint64, r row) label.L {
+	var buf [8 + 16]byte
+	binary.LittleEndian.PutUint64(buf[:8], j)
+	binary.LittleEndian.PutUint64(buf[8:16], r[0])
+	binary.LittleEndian.PutUint64(buf[16:24], r[1])
+	sum := sha256.Sum256(buf[:])
+	return label.FromBytes(sum[:16])
+}
+
+// iknpSend runs the extension sender for a batch of pairs. base selects
+// the protocol used for the k base OTs.
+func iknpSend(conn io.ReadWriter, base Protocol, pairs []Pair) error {
+	m := len(pairs)
+	if m == 0 {
+		return nil
+	}
+	mBytes := (m + 7) / 8
+
+	// 1. Base OTs, reversed: we receive with random choices s.
+	sBits := make([]bool, kappa)
+	var sRow row
+	var rb [kappa / 8]byte
+	if _, err := rand.Read(rb[:]); err != nil {
+		return fmt.Errorf("ot: sampling s: %w", err)
+	}
+	for i := range sBits {
+		sBits[i] = rb[i/8]>>(uint(i)%8)&1 == 1
+		if sBits[i] {
+			sRow[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	seeds, err := Receive(conn, base, sBits)
+	if err != nil {
+		return fmt.Errorf("ot: base OTs: %w", err)
+	}
+
+	// 2. Receive the masked columns u_i and build Q column-wise:
+	// q_i = PRG(seed_{s_i}) xor (s_i ? u_i : 0).
+	q := make([]row, m)
+	u := make([]byte, mBytes)
+	for i := 0; i < kappa; i++ {
+		if _, err := io.ReadFull(conn, u); err != nil {
+			return fmt.Errorf("ot: reading column %d: %w", i, err)
+		}
+		col := prgExpand(seeds[i], mBytes)
+		if sBits[i] {
+			for b := range col {
+				col[b] ^= u[b]
+			}
+		}
+		w, bit := i/64, uint(i)%64
+		for j := 0; j < m; j++ {
+			if col[j/8]>>(uint(j)%8)&1 == 1 {
+				q[j][w] |= 1 << bit
+			}
+		}
+	}
+
+	// 3. Encrypt both messages per transfer: y0 = m0 ^ H(j, q_j),
+	// y1 = m1 ^ H(j, q_j ^ s).
+	out := make([]byte, 2*label.Size*m)
+	for j := 0; j < m; j++ {
+		k0 := rowHash(uint64(j), q[j])
+		qs := q[j]
+		qs.xor(sRow)
+		k1 := rowHash(uint64(j), qs)
+		pairs[j].M0.Xor(k0).Put(out[j*32 : j*32+16])
+		pairs[j].M1.Xor(k1).Put(out[j*32+16 : j*32+32])
+	}
+	if _, err := conn.Write(out); err != nil {
+		return fmt.Errorf("ot: sending ciphertexts: %w", err)
+	}
+	return nil
+}
+
+// iknpReceive runs the extension receiver for a batch of choice bits.
+func iknpReceive(conn io.ReadWriter, base Protocol, choices []bool) ([]label.L, error) {
+	m := len(choices)
+	if m == 0 {
+		return nil, nil
+	}
+	mBytes := (m + 7) / 8
+
+	rBytes := make([]byte, mBytes)
+	for j, c := range choices {
+		if c {
+			rBytes[j/8] |= 1 << (uint(j) % 8)
+		}
+	}
+
+	// 1. Base OTs, reversed: we send seed pairs.
+	basePairs := make([]Pair, kappa)
+	for i := range basePairs {
+		m0, err := label.Rand()
+		if err != nil {
+			return nil, err
+		}
+		m1, err := label.Rand()
+		if err != nil {
+			return nil, err
+		}
+		basePairs[i] = Pair{M0: m0, M1: m1}
+	}
+	if err := Send(conn, base, basePairs); err != nil {
+		return nil, fmt.Errorf("ot: base OTs: %w", err)
+	}
+
+	// 2. Build T column-wise from PRG(seed0) and send the masked
+	// columns u_i = PRG(seed0_i) ^ PRG(seed1_i) ^ r.
+	t := make([]row, m)
+	for i := 0; i < kappa; i++ {
+		col0 := prgExpand(basePairs[i].M0, mBytes)
+		col1 := prgExpand(basePairs[i].M1, mBytes)
+		u := make([]byte, mBytes)
+		for b := range u {
+			u[b] = col0[b] ^ col1[b] ^ rBytes[b]
+		}
+		if _, err := conn.Write(u); err != nil {
+			return nil, fmt.Errorf("ot: sending column %d: %w", i, err)
+		}
+		w, bit := i/64, uint(i)%64
+		for j := 0; j < m; j++ {
+			if col0[j/8]>>(uint(j)%8)&1 == 1 {
+				t[j][w] |= 1 << bit
+			}
+		}
+	}
+
+	// 3. Decrypt the chosen message per transfer with H(j, t_j).
+	enc := make([]byte, 2*label.Size*m)
+	if _, err := io.ReadFull(conn, enc); err != nil {
+		return nil, fmt.Errorf("ot: reading ciphertexts: %w", err)
+	}
+	out := make([]label.L, m)
+	for j := 0; j < m; j++ {
+		k := rowHash(uint64(j), t[j])
+		off := j * 32
+		if choices[j] {
+			off += 16
+		}
+		out[j] = label.FromBytes(enc[off : off+16]).Xor(k)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+// Package ot implements 1-out-of-2 oblivious transfer, the primitive the
+// GCs protocol uses to deliver the evaluator's input labels without the
+// garbler learning the evaluator's inputs (§2.1).
+//
+// Two implementations are provided:
+//
+//   - DH: a semi-honest Bellare–Micali style OT over NIST P-256
+//     (stdlib crypto/elliptic). Appropriate for the repository's threat
+//     model (semi-honest, like the paper's EMP setting).
+//   - Insecure: a direct transfer where the receiver reveals its choice
+//     bits. It exercises the same protocol plumbing at zero cost and is
+//     used by large-scale tests and simulations; never use it for real
+//     secrets.
+//
+// Both sides operate over an io.ReadWriter carrying length-free fixed-
+// format messages, batched for the whole choice vector.
+package ot
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/big"
+
+	"haac/internal/label"
+)
+
+// Pair is the sender's two messages for one transfer: the receiver
+// learns exactly one of them.
+type Pair struct {
+	M0, M1 label.L
+}
+
+// Protocol selects an OT implementation.
+type Protocol uint8
+
+const (
+	// DH is the Diffie-Hellman based semi-honest OT.
+	DH Protocol = iota
+	// Insecure transfers choices in the clear (testing/simulation only).
+	Insecure
+	// IKNP is OT extension: 128 DH base OTs stretched to the whole
+	// batch with symmetric crypto (see iknp.go). The right choice for
+	// large evaluator inputs.
+	IKNP
+)
+
+const pointSize = 65 // uncompressed P-256 point
+
+// Send runs the sender side for a batch of pairs.
+func Send(conn io.ReadWriter, proto Protocol, pairs []Pair) error {
+	switch proto {
+	case DH:
+		return dhSend(conn, pairs)
+	case Insecure:
+		return insecureSend(conn, pairs)
+	case IKNP:
+		return iknpSend(conn, DH, pairs)
+	}
+	return fmt.Errorf("ot: unknown protocol %d", proto)
+}
+
+// Receive runs the receiver side for a batch of choice bits, returning
+// the chosen message per transfer.
+func Receive(conn io.ReadWriter, proto Protocol, choices []bool) ([]label.L, error) {
+	switch proto {
+	case DH:
+		return dhReceive(conn, choices)
+	case Insecure:
+		return insecureReceive(conn, choices)
+	case IKNP:
+		return iknpReceive(conn, DH, choices)
+	}
+	return nil, fmt.Errorf("ot: unknown protocol %d", proto)
+}
+
+// --- insecure transfer ---
+
+func insecureSend(conn io.ReadWriter, pairs []Pair) error {
+	choice := make([]byte, len(pairs))
+	if _, err := io.ReadFull(conn, choice); err != nil {
+		return fmt.Errorf("ot: reading choices: %w", err)
+	}
+	buf := make([]byte, label.Size)
+	for i, p := range pairs {
+		m := p.M0
+		if choice[i] == 1 {
+			m = p.M1
+		}
+		m.Put(buf)
+		if _, err := conn.Write(buf); err != nil {
+			return fmt.Errorf("ot: sending message %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func insecureReceive(conn io.ReadWriter, choices []bool) ([]label.L, error) {
+	choice := make([]byte, len(choices))
+	for i, c := range choices {
+		if c {
+			choice[i] = 1
+		}
+	}
+	if _, err := conn.Write(choice); err != nil {
+		return nil, fmt.Errorf("ot: sending choices: %w", err)
+	}
+	out := make([]label.L, len(choices))
+	buf := make([]byte, label.Size)
+	for i := range out {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return nil, fmt.Errorf("ot: reading message %d: %w", i, err)
+		}
+		out[i] = label.FromBytes(buf)
+	}
+	return out, nil
+}
+
+// --- Diffie-Hellman OT (Bellare–Micali, semi-honest) ---
+//
+// Sender: a ←$ Z_q, A = aG. Receiver with choice c: b ←$ Z_q,
+// B = bG + c·A. Sender derives k0 = H(aB), k1 = H(a(B−A)) and sends
+// m0⊕k0, m1⊕k1; the receiver knows k_c = H(bA) and nothing about the
+// other key (CDH).
+
+func dhSend(conn io.ReadWriter, pairs []Pair) error {
+	curve := elliptic.P256()
+	a, err := rand.Int(rand.Reader, curve.Params().N)
+	if err != nil {
+		return fmt.Errorf("ot: sampling scalar: %w", err)
+	}
+	ax, ay := curve.ScalarBaseMult(a.Bytes())
+	if _, err := conn.Write(elliptic.Marshal(curve, ax, ay)); err != nil {
+		return fmt.Errorf("ot: sending A: %w", err)
+	}
+	// Negated A for computing B − A.
+	nay := new(big.Int).Sub(curve.Params().P, ay)
+
+	// Phase 1: read every B point. Keeping the phases strictly ordered
+	// (all B, then all ciphertexts) avoids lockstep deadlock over
+	// unbuffered transports such as net.Pipe.
+	all := make([]byte, pointSize*len(pairs))
+	if _, err := io.ReadFull(conn, all); err != nil {
+		return fmt.Errorf("ot: reading B points: %w", err)
+	}
+	// Phase 2: derive keys and send all ciphertext pairs.
+	out := make([]byte, 2*label.Size*len(pairs))
+	for i, p := range pairs {
+		ptBuf := all[i*pointSize : (i+1)*pointSize]
+		bx, by := elliptic.Unmarshal(curve, ptBuf)
+		if bx == nil {
+			return fmt.Errorf("ot: invalid point B[%d]", i)
+		}
+		k0x, k0y := curve.ScalarMult(bx, by, a.Bytes())
+		dx, dy := curve.Add(bx, by, ax, nay) // B − A
+		k1x, k1y := curve.ScalarMult(dx, dy, a.Bytes())
+
+		e0 := p.M0.Xor(kdf(curve, k0x, k0y, uint64(i)))
+		e1 := p.M1.Xor(kdf(curve, k1x, k1y, uint64(i)))
+		msg := out[i*2*label.Size : (i+1)*2*label.Size]
+		e0.Put(msg[0:16])
+		e1.Put(msg[16:32])
+	}
+	if _, err := conn.Write(out); err != nil {
+		return fmt.Errorf("ot: sending ciphertexts: %w", err)
+	}
+	return nil
+}
+
+func dhReceive(conn io.ReadWriter, choices []bool) ([]label.L, error) {
+	curve := elliptic.P256()
+	ptBuf := make([]byte, pointSize)
+	if _, err := io.ReadFull(conn, ptBuf); err != nil {
+		return nil, fmt.Errorf("ot: reading A: %w", err)
+	}
+	ax, ay := elliptic.Unmarshal(curve, ptBuf)
+	if ax == nil {
+		return nil, fmt.Errorf("ot: invalid point A")
+	}
+
+	type state struct{ b *big.Int }
+	states := make([]state, len(choices))
+	for i, c := range choices {
+		b, err := rand.Int(rand.Reader, curve.Params().N)
+		if err != nil {
+			return nil, fmt.Errorf("ot: sampling scalar: %w", err)
+		}
+		states[i].b = b
+		bx, by := curve.ScalarBaseMult(b.Bytes())
+		if c {
+			bx, by = curve.Add(bx, by, ax, ay)
+		}
+		if _, err := conn.Write(elliptic.Marshal(curve, bx, by)); err != nil {
+			return nil, fmt.Errorf("ot: sending B[%d]: %w", i, err)
+		}
+	}
+
+	out := make([]label.L, len(choices))
+	msg := make([]byte, 2*label.Size)
+	for i, c := range choices {
+		if _, err := io.ReadFull(conn, msg); err != nil {
+			return nil, fmt.Errorf("ot: reading ciphertexts %d: %w", i, err)
+		}
+		kx, ky := curve.ScalarMult(ax, ay, states[i].b.Bytes())
+		k := kdf(curve, kx, ky, uint64(i))
+		if c {
+			out[i] = label.FromBytes(msg[16:32]).Xor(k)
+		} else {
+			out[i] = label.FromBytes(msg[0:16]).Xor(k)
+		}
+	}
+	return out, nil
+}
+
+// kdf hashes a curve point and transfer index into a label-sized key.
+func kdf(curve elliptic.Curve, x, y *big.Int, idx uint64) label.L {
+	h := sha256.New()
+	h.Write(elliptic.Marshal(curve, x, y))
+	var ib [8]byte
+	for i := 0; i < 8; i++ {
+		ib[i] = byte(idx >> uint(8*i))
+	}
+	h.Write(ib[:])
+	sum := h.Sum(nil)
+	return label.FromBytes(sum[:16])
+}

@@ -1,0 +1,180 @@
+package ot
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"haac/internal/label"
+)
+
+func runOT(t *testing.T, proto Protocol, n int, seed int64) ([]Pair, []bool, []label.L) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	src := label.NewSource(uint64(seed))
+	pairs := make([]Pair, n)
+	choices := make([]bool, n)
+	for i := range pairs {
+		pairs[i] = Pair{M0: src.Next(), M1: src.Next()}
+		choices[i] = rng.Intn(2) == 1
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- Send(a, proto, pairs) }()
+	got, err := Receive(b, proto, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	return pairs, choices, got
+}
+
+func TestInsecureOT(t *testing.T) {
+	pairs, choices, got := runOT(t, Insecure, 64, 1)
+	for i := range got {
+		want := pairs[i].M0
+		if choices[i] {
+			want = pairs[i].M1
+		}
+		if got[i] != want {
+			t.Fatalf("transfer %d: wrong message", i)
+		}
+	}
+}
+
+func TestDHOTCorrectness(t *testing.T) {
+	pairs, choices, got := runOT(t, DH, 16, 2)
+	for i := range got {
+		want := pairs[i].M0
+		other := pairs[i].M1
+		if choices[i] {
+			want, other = other, want
+		}
+		if got[i] != want {
+			t.Fatalf("transfer %d: wrong message", i)
+		}
+		if got[i] == other {
+			t.Fatalf("transfer %d: received the unchosen message", i)
+		}
+	}
+}
+
+func TestDHOTDistinctKeysPerIndex(t *testing.T) {
+	// Identical pairs at different indices must produce different
+	// ciphertexts (the kdf binds the transfer index).
+	src := label.NewSource(3)
+	m := Pair{M0: src.Next(), M1: src.Next()}
+	pairs := []Pair{m, m}
+	choices := []bool{false, false}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- Send(a, DH, pairs) }()
+	got, err := Receive(b, DH, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != m.M0 || got[1] != m.M0 {
+		t.Fatal("decryption failed")
+	}
+}
+
+func TestUnknownProtocolRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := Send(a, Protocol(99), nil); err == nil {
+		t.Fatal("unknown protocol accepted by Send")
+	}
+	if _, err := Receive(b, Protocol(99), nil); err == nil {
+		t.Fatal("unknown protocol accepted by Receive")
+	}
+}
+
+func TestIKNPCorrectness(t *testing.T) {
+	pairs, choices, got := runOT(t, IKNP, 777, 4)
+	for i := range got {
+		want, other := pairs[i].M0, pairs[i].M1
+		if choices[i] {
+			want, other = other, want
+		}
+		if got[i] != want {
+			t.Fatalf("transfer %d: wrong message", i)
+		}
+		if got[i] == other {
+			t.Fatalf("transfer %d: received the unchosen message", i)
+		}
+	}
+}
+
+func TestIKNPNonMultipleOfEight(t *testing.T) {
+	// Batch sizes that don't fill whole bytes exercise the padding.
+	for _, n := range []int{1, 7, 9, 130} {
+		pairs, choices, got := runOT(t, IKNP, n, int64(100+n))
+		for i := range got {
+			want := pairs[i].M0
+			if choices[i] {
+				want = pairs[i].M1
+			}
+			if got[i] != want {
+				t.Fatalf("n=%d transfer %d wrong", n, i)
+			}
+		}
+	}
+}
+
+func TestIKNPEmptyBatch(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- Send(a, IKNP, nil) }()
+	out, err := Receive(b, IKNP, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatal("non-empty result for empty batch")
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRGDeterministicAndSeedSeparated(t *testing.T) {
+	s1 := label.L{Lo: 1, Hi: 2}
+	s2 := label.L{Lo: 1, Hi: 3}
+	a := prgExpand(s1, 100)
+	b := prgExpand(s1, 100)
+	c := prgExpand(s2, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PRG not deterministic")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("PRG ignores seed")
+	}
+}
+
+func TestRowHashBindsIndex(t *testing.T) {
+	var r row
+	r[0] = 42
+	if rowHash(1, r) == rowHash(2, r) {
+		t.Fatal("row hash ignores transfer index")
+	}
+}

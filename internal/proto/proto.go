@@ -1,0 +1,291 @@
+// Package proto runs the two-party garbled-circuits protocol over any
+// net.Conn-like transport: the Garbler garbles and streams tables while
+// the Evaluator consumes them, with the evaluator's input labels
+// delivered by oblivious transfer. This is the repository's stand-in for
+// the EMP Toolkit 2PC runtime the paper builds on.
+//
+// Wire format (little-endian):
+//
+//	header:  magic u32 | version u8 | otProto u8 | nGates u64 | nWires u64 |
+//	         nGarbler u32 | nEval u32 | hasConst u8 | nOutputs u32 | nTables u64
+//	labels:  16 bytes each
+//	tables:  32 bytes each, streamed in gate order
+//	decode:  one byte per output bit (0/1)
+//	result:  one byte per output bit, sent back by the evaluator
+//
+// Both parties must hold the same circuit; the header fields are checked
+// so mismatched circuits fail fast instead of producing garbage.
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"haac/internal/circuit"
+	"haac/internal/gc"
+	"haac/internal/label"
+	"haac/internal/ot"
+)
+
+const (
+	magic   = 0x48414143 // "HAAC"
+	version = 1
+)
+
+// Options configures a protocol run.
+type Options struct {
+	// Hasher is the garbling hash; both parties must agree. Defaults to
+	// the paper's re-keyed construction.
+	Hasher gc.Hasher
+	// OT selects the oblivious-transfer protocol (default ot.DH).
+	OT ot.Protocol
+	// Seed seeds the garbler's deterministic label source when nonzero;
+	// zero draws a random seed. Tests use fixed seeds.
+	Seed uint64
+	// Stats, when non-nil, collects transfer metrics for the run.
+	Stats *Stats
+}
+
+func (o *Options) fill() error {
+	if o.Hasher == nil {
+		o.Hasher = gc.RekeyedHasher{}
+	}
+	if o.Seed == 0 {
+		l, err := label.Rand()
+		if err != nil {
+			return err
+		}
+		o.Seed = l.Lo
+	}
+	return nil
+}
+
+type header struct {
+	Magic    uint32
+	Version  uint8
+	OTProto  uint8
+	NGates   uint64
+	NWires   uint64
+	NGarbler uint32
+	NEval    uint32
+	HasConst uint8
+	NOutputs uint32
+	NTables  uint64
+}
+
+func headerFor(c *circuit.Circuit, opts Options) header {
+	and, _, _ := c.CountOps()
+	h := header{
+		Magic:    magic,
+		Version:  version,
+		OTProto:  uint8(opts.OT),
+		NGates:   uint64(len(c.Gates)),
+		NWires:   uint64(c.NumWires),
+		NGarbler: uint32(c.GarblerInputs),
+		NEval:    uint32(c.EvaluatorInputs),
+		NOutputs: uint32(len(c.Outputs)),
+		NTables:  uint64(and),
+	}
+	if c.HasConst {
+		h.HasConst = 1
+	}
+	return h
+}
+
+// RunGarbler executes the garbler role end to end and returns the
+// plaintext outputs reported back by the evaluator.
+func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts Options) ([]bool, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if len(garblerBits) != c.GarblerInputs {
+		return nil, fmt.Errorf("proto: got %d garbler bits, want %d", len(garblerBits), c.GarblerInputs)
+	}
+	conn = instrument(conn, &opts)
+	opts.Stats.begin()
+	defer opts.Stats.end()
+	w := bufio.NewWriterSize(conn, 1<<16)
+
+	h := headerFor(c, opts)
+	if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+		return nil, fmt.Errorf("proto: writing header: %w", err)
+	}
+
+	sg, err := gc.NewStreamGarbler(c, opts.Hasher, label.NewSource(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	zeros := sg.InputZeros()
+	r := sg.R()
+
+	// Garbler's own active labels, then constants.
+	buf := make([]byte, label.Size)
+	writeLabel := func(l label.L) error {
+		l.Put(buf)
+		_, err := w.Write(buf)
+		return err
+	}
+	for i, v := range garblerBits {
+		l := zeros[i]
+		if v {
+			l = l.Xor(r)
+		}
+		if err := writeLabel(l); err != nil {
+			return nil, fmt.Errorf("proto: sending garbler labels: %w", err)
+		}
+	}
+	if c.HasConst {
+		if err := writeLabel(zeros[c.Const0]); err != nil {
+			return nil, err
+		}
+		if err := writeLabel(zeros[c.Const1].Xor(r)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+
+	// OT for the evaluator's labels.
+	if c.EvaluatorInputs > 0 {
+		pairs := make([]ot.Pair, c.EvaluatorInputs)
+		off := c.GarblerInputs
+		for i := range pairs {
+			pairs[i] = ot.Pair{M0: zeros[off+i], M1: zeros[off+i].Xor(r)}
+		}
+		if err := ot.Send(conn, opts.OT, pairs); err != nil {
+			return nil, fmt.Errorf("proto: OT: %w", err)
+		}
+	}
+
+	// Stream tables.
+	tbuf := make([]byte, gc.MaterialSize)
+	for {
+		m, ok := sg.Next()
+		if !ok {
+			break
+		}
+		mb := m.Bytes()
+		copy(tbuf, mb[:])
+		if _, err := w.Write(tbuf); err != nil {
+			return nil, fmt.Errorf("proto: streaming tables: %w", err)
+		}
+	}
+	garbled := sg.Finish()
+
+	// Decode bits.
+	for _, d := range garbled.DecodeBits() {
+		if err := w.WriteByte(byte(d)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Receive the evaluator's plaintext result.
+	res := make([]byte, len(c.Outputs))
+	if _, err := io.ReadFull(conn, res); err != nil {
+		return nil, fmt.Errorf("proto: reading result: %w", err)
+	}
+	out := make([]bool, len(res))
+	for i, b := range res {
+		out[i] = b == 1
+	}
+	return out, nil
+}
+
+// RunEvaluator executes the evaluator role and returns the plaintext
+// outputs (also reported back to the garbler).
+func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts Options) ([]bool, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if len(evalBits) != c.EvaluatorInputs {
+		return nil, fmt.Errorf("proto: got %d evaluator bits, want %d", len(evalBits), c.EvaluatorInputs)
+	}
+	conn = instrument(conn, &opts)
+	opts.Stats.begin()
+	defer opts.Stats.end()
+	rd := bufio.NewReaderSize(conn, 1<<16)
+
+	var h header
+	if err := binary.Read(rd, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("proto: reading header: %w", err)
+	}
+	want := headerFor(c, Options{OT: ot.Protocol(h.OTProto)})
+	want.OTProto = h.OTProto
+	if h != want {
+		return nil, fmt.Errorf("proto: circuit mismatch: got %+v, want %+v", h, want)
+	}
+
+	inputs := make([]label.L, c.NumInputs())
+	buf := make([]byte, label.Size)
+	for i := 0; i < c.GarblerInputs; i++ {
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return nil, fmt.Errorf("proto: reading garbler labels: %w", err)
+		}
+		inputs[i] = label.FromBytes(buf)
+	}
+	if c.HasConst {
+		for _, wireIdx := range []circuit.Wire{c.Const0, c.Const1} {
+			if _, err := io.ReadFull(rd, buf); err != nil {
+				return nil, fmt.Errorf("proto: reading const labels: %w", err)
+			}
+			inputs[wireIdx] = label.FromBytes(buf)
+		}
+	}
+
+	if c.EvaluatorInputs > 0 {
+		// OT happens on the raw conn; everything buffered so far has
+		// been consumed (header + labels are fixed-size).
+		got, err := ot.Receive(readWriter{rd, conn}, ot.Protocol(h.OTProto), evalBits)
+		if err != nil {
+			return nil, fmt.Errorf("proto: OT: %w", err)
+		}
+		copy(inputs[c.GarblerInputs:], got)
+	}
+
+	se, err := gc.NewStreamEvaluator(c, opts.Hasher, inputs)
+	if err != nil {
+		return nil, err
+	}
+	tbuf := make([]byte, gc.MaterialSize)
+	for se.NeedTable() {
+		if _, err := io.ReadFull(rd, tbuf); err != nil {
+			return nil, fmt.Errorf("proto: reading tables: %w", err)
+		}
+		if err := se.Feed(gc.MaterialFromBytes(tbuf)); err != nil {
+			return nil, err
+		}
+	}
+	outLabels, err := se.Outputs()
+	if err != nil {
+		return nil, err
+	}
+
+	decode := make([]byte, len(c.Outputs))
+	if _, err := io.ReadFull(rd, decode); err != nil {
+		return nil, fmt.Errorf("proto: reading decode bits: %w", err)
+	}
+	result := make([]bool, len(outLabels))
+	res := make([]byte, len(outLabels))
+	for i, l := range outLabels {
+		v := l.Colour() ^ int(decode[i])
+		result[i] = v == 1
+		res[i] = byte(v)
+	}
+	if _, err := conn.Write(res); err != nil {
+		return nil, fmt.Errorf("proto: sending result: %w", err)
+	}
+	return result, nil
+}
+
+// readWriter pairs the buffered reader with the raw writer so OT can run
+// mid-stream without losing buffered bytes.
+type readWriter struct {
+	io.Reader
+	io.Writer
+}

@@ -1,0 +1,197 @@
+package proto
+
+import (
+	"net"
+	"testing"
+
+	"haac/internal/circuit"
+	"haac/internal/gc"
+	"haac/internal/ot"
+	"haac/internal/workloads"
+)
+
+// run2PC executes a full two-party computation over an in-memory pipe.
+func run2PC(t *testing.T, c *circuit.Circuit, g, e []bool, opts Options) ([]bool, []bool) {
+	t.Helper()
+	ga, ev := net.Pipe()
+	defer ga.Close()
+	defer ev.Close()
+
+	type res struct {
+		bits []bool
+		err  error
+	}
+	gch := make(chan res, 1)
+	go func() {
+		bits, err := RunGarbler(ga, c, g, opts)
+		gch <- res{bits, err}
+	}()
+	ebits, err := RunEvaluator(ev, c, e, opts)
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	gr := <-gch
+	if gr.err != nil {
+		t.Fatalf("garbler: %v", gr.err)
+	}
+	return gr.bits, ebits
+}
+
+func TestTwoPartyWorkloadsInsecureOT(t *testing.T) {
+	for _, w := range workloads.VIPSuiteSmall() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if w.Name == "BubbSt" || w.Name == "GradDesc" || w.Name == "Triangle" {
+				t.Skip("large; 2PC streaming covered by smaller workloads")
+			}
+			c := w.Build()
+			g, e := w.Inputs(5)
+			want := w.Reference(g, e)
+			gbits, ebits := run2PC(t, c, g, e, Options{OT: ot.Insecure, Seed: 9})
+			for i := range want {
+				if gbits[i] != want[i] || ebits[i] != want[i] {
+					t.Fatalf("output bit %d mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+func TestTwoPartyMillionaireDHOT(t *testing.T) {
+	// Full cryptographic path: DH OT + re-keyed garbling.
+	w := workloads.Millionaire(16)
+	c := w.Build()
+	g, e := w.Inputs(77)
+	want := w.Reference(g, e)
+	gbits, ebits := run2PC(t, c, g, e, Options{OT: ot.DH, Seed: 3})
+	if gbits[0] != want[0] || ebits[0] != want[0] {
+		t.Fatal("millionaires' result mismatch under DH OT")
+	}
+}
+
+func TestTwoPartyFixedKeyHasher(t *testing.T) {
+	w := workloads.AddN(16)
+	c := w.Build()
+	g, e := w.Inputs(4)
+	want := w.Reference(g, e)
+	opts := Options{OT: ot.Insecure, Seed: 5, Hasher: gc.NewFixedKeyHasher([16]byte{7})}
+	gbits, _ := run2PC(t, c, g, e, opts)
+	for i := range want {
+		if gbits[i] != want[i] {
+			t.Fatal("fixed-key hasher 2PC mismatch")
+		}
+	}
+}
+
+func TestMismatchedCircuitRejected(t *testing.T) {
+	wg := workloads.AddN(8)
+	we := workloads.AddN(16) // different circuit on the evaluator side
+	cg, ce := wg.Build(), we.Build()
+	g, _ := wg.Inputs(1)
+	_, e := we.Inputs(1)
+
+	ga, ev := net.Pipe()
+	defer ga.Close()
+	defer ev.Close()
+	errs := make(chan error, 1)
+	go func() {
+		_, err := RunGarbler(ga, cg, g, Options{OT: ot.Insecure, Seed: 2})
+		errs <- err
+	}()
+	if _, err := RunEvaluator(ev, ce, e, Options{OT: ot.Insecure, Seed: 2}); err == nil {
+		t.Fatal("evaluator accepted a mismatched circuit")
+	}
+	ev.Close() // unblock garbler
+	<-errs
+}
+
+func TestTwoPartyOverTCP(t *testing.T) {
+	// Same protocol over a real TCP socket.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	w := workloads.DotProduct(4, 16)
+	c := w.Build()
+	g, e := w.Inputs(8)
+	want := w.Reference(g, e)
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		bits, err := RunGarbler(conn, c, g, Options{OT: ot.DH, Seed: 6})
+		if err == nil {
+			for i := range want {
+				if bits[i] != want[i] {
+					err = errMismatch
+				}
+			}
+		}
+		done <- err
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bits, err := RunEvaluator(conn, c, e, Options{OT: ot.DH, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatal("evaluator result mismatch over TCP")
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "garbler saw mismatched outputs" }
+
+func TestTwoPartyHammingIKNPOT(t *testing.T) {
+	// OT extension end to end: a workload with enough evaluator input
+	// bits that extension actually matters.
+	w := workloads.Hamming(512)
+	c := w.Build()
+	g, e := w.Inputs(21)
+	want := w.Reference(g, e)
+	gbits, ebits := run2PC(t, c, g, e, Options{OT: ot.IKNP, Seed: 12})
+	for i := range want {
+		if gbits[i] != want[i] || ebits[i] != want[i] {
+			t.Fatalf("output bit %d mismatch under IKNP OT", i)
+		}
+	}
+}
+
+func TestTransferStats(t *testing.T) {
+	w := workloads.DotProduct(8, 16)
+	c := w.Build()
+	g, e := w.Inputs(31)
+	stats := &Stats{}
+	run2PC(t, c, g, e, Options{OT: ot.Insecure, Seed: 17, Stats: stats})
+	// The garbler ships at least all tables (32 B per AND).
+	minBytes := int64(32 * func() int { a, _, _ := c.CountOps(); return a }())
+	if stats.BytesSent.Load() < minBytes {
+		t.Fatalf("garbler sent %d bytes, tables alone are %d", stats.BytesSent.Load(), minBytes)
+	}
+	if stats.Duration() <= 0 {
+		t.Fatal("no duration recorded")
+	}
+	if stats.Throughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+}

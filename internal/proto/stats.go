@@ -1,0 +1,68 @@
+package proto
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Stats collects transfer metrics for a protocol run when attached via
+// Options.Stats: total bytes in each direction and wall-clock duration.
+// GC bandwidth demand is the core systems challenge the paper targets
+// (§1: "GCs are data intensive"), so the examples report it.
+type Stats struct {
+	BytesSent     atomic.Int64
+	BytesReceived atomic.Int64
+	start         time.Time
+	duration      atomic.Int64 // nanoseconds
+}
+
+// Duration returns the elapsed wall time of the run.
+func (s *Stats) Duration() time.Duration { return time.Duration(s.duration.Load()) }
+
+// Throughput returns the total transfer rate in bytes/second.
+func (s *Stats) Throughput() float64 {
+	d := s.Duration().Seconds()
+	if d == 0 {
+		return 0
+	}
+	return float64(s.BytesSent.Load()+s.BytesReceived.Load()) / d
+}
+
+func (s *Stats) begin() {
+	if s != nil {
+		s.start = time.Now()
+	}
+}
+
+func (s *Stats) end() {
+	if s != nil {
+		s.duration.Store(int64(time.Since(s.start)))
+	}
+}
+
+// countingConn wraps a ReadWriter, attributing bytes to a Stats.
+type countingConn struct {
+	inner io.ReadWriter
+	stats *Stats
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	c.stats.BytesReceived.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.inner.Write(p)
+	c.stats.BytesSent.Add(int64(n))
+	return n, err
+}
+
+// instrument wraps conn when opts carries a Stats collector.
+func instrument(conn io.ReadWriter, opts *Options) io.ReadWriter {
+	if opts.Stats == nil {
+		return conn
+	}
+	return countingConn{inner: conn, stats: opts.Stats}
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"fmt"
+
+	"haac/internal/compiler"
+	"haac/internal/isa"
+)
+
+// Simulate runs the compiled program on the hardware configuration and
+// returns timing, traffic and event counts.
+//
+// The compute phase replays the compiler's per-GE streams cycle by
+// cycle: each GE issues in order when (a) the engine's previous issue
+// has cleared (one instruction per cycle), (b) both operands are ready —
+// produced values become usable at pipeline completion via the
+// forwarding network (or later, if forwarding is disabled), and (c) the
+// operands' SWW banks have access slots left this cycle. When no GE can
+// issue, the clock skips forward to the next release time, so runtime is
+// proportional to instructions, not stall cycles.
+func Simulate(cp *compiler.Compiled, hw HW) (Result, error) {
+	if err := hw.Validate(); err != nil {
+		return Result{}, err
+	}
+	if hw.NumGEs != cp.Cfg.NumGEs {
+		return Result{}, fmt.Errorf("sim: program compiled for %d GEs, hardware has %d",
+			cp.Cfg.NumGEs, hw.NumGEs)
+	}
+	if hw.SWWWires != cp.Cfg.SWWWires {
+		return Result{}, fmt.Errorf("sim: program compiled for %d-wire SWW, hardware has %d",
+			cp.Cfg.SWWWires, hw.SWWWires)
+	}
+
+	res := Result{HW: hw}
+	res.computePhase(cp)
+	res.trafficPhase(cp)
+
+	res.TotalCycles = res.ComputeCycles
+	if res.TrafficCycles > res.TotalCycles {
+		res.TotalCycles = res.TrafficCycles
+	}
+	// Pipeline drain for the final in-flight gates.
+	res.TotalCycles += hw.ANDLatency()
+	return res, nil
+}
+
+// computePhase is the cycle-level GE replay.
+func (res *Result) computePhase(cp *compiler.Compiled) {
+	res.computePhaseTraced(cp, nil)
+}
+
+// computePhaseTraced additionally reports each issue event (GE, cycle)
+// to rec when non-nil; used by SimulateTraced.
+func (res *Result) computePhaseTraced(cp *compiler.Compiled, rec func(int, int64)) {
+	hw := res.HW
+	p := &cp.Program
+	nge := hw.NumGEs
+	andLat := hw.ANDLatency()
+	fwd := hw.Forwarding
+
+	ready := make([]int64, p.MaxAddr+1)
+	ptr := make([]int, nge) // index into each GE's stream
+	geFree := make([]int64, nge)
+	res.IssuedPerGE = make([]int64, nge)
+
+	nBanks := nge * hw.BanksPerGE
+	slots := hw.bankSlots()
+	bankUse := make([]int16, nBanks)
+	usedBanks := make([]int32, 0, 2*nge)
+
+	// Pull-based OoR state (ablation): per GE, the stream position whose
+	// DRAM pull is in flight and when it lands.
+	pullPtr := make([]int, nge)
+	pullReady := make([]int64, nge)
+	for g := range pullPtr {
+		pullPtr[g] = -1
+	}
+
+	remaining := len(p.Instrs)
+	cycle := int64(0)
+	var dataStalls, bankConflicts int64
+
+	instrs := p.Instrs
+	outAddrs := p.OutAddrs
+
+	for remaining > 0 {
+		issued := false
+		nextEvent := int64(-1)
+		note := func(t int64) {
+			if t > cycle && (nextEvent < 0 || t < nextEvent) {
+				nextEvent = t
+			}
+		}
+
+		for g := 0; g < nge; g++ {
+			st := cp.Streams[g]
+			if ptr[g] >= len(st) {
+				continue
+			}
+			if geFree[g] > cycle {
+				note(geFree[g])
+				continue
+			}
+			j := st[ptr[g]]
+			in := &instrs[j]
+
+			// Operand readiness. OoR operands come from the GE-local
+			// queue: under the push model the compiler guarantees they
+			// arrived long before (§3.1.4), so they are always ready.
+			var t0 int64
+			aOoR := in.A == isa.OoR
+			bOoR := in.B == isa.OoR
+			if in.Op != isa.NOP {
+				if !aOoR {
+					if r := ready[in.A]; r > t0 {
+						t0 = r
+					}
+				}
+				if !bOoR {
+					if r := ready[in.B]; r > t0 {
+						t0 = r
+					}
+				}
+			}
+			if t0 > cycle {
+				dataStalls++
+				note(t0)
+				continue
+			}
+			// Pull-based OoR ablation: the first time an in-order GE
+			// reaches an instruction with an OoR operand it launches a
+			// DRAM access and stalls for the round trip.
+			if hw.OoRPull && (aOoR || bOoR) {
+				if pullPtr[g] != ptr[g] {
+					pullPtr[g] = ptr[g]
+					n := int64(1)
+					if aOoR && bOoR {
+						n = 2
+					}
+					pullReady[g] = cycle + n*hw.DRAMLatencyCycles
+				}
+				if pullReady[g] > cycle {
+					dataStalls++
+					note(pullReady[g])
+					continue
+				}
+			}
+			// SWW bank ports for in-window operands. A bank serves
+			// `slots` accesses per GE cycle; an instruction needing more
+			// from one bank than a cycle provides may still proceed when
+			// the bank is idle (the read stages serialize it), but two
+			// instructions cannot oversubscribe the same bank.
+			if in.Op != isa.NOP {
+				var ba, bb int32 = -1, -1
+				needA, needB := 0, 0
+				if !aOoR {
+					ba = int32(in.A) % int32(nBanks)
+					needA = 1
+				}
+				if !bOoR {
+					bb = int32(in.B) % int32(nBanks)
+					needB = 1
+				}
+				conflict := false
+				if ba >= 0 && ba == bb {
+					need := needA + needB
+					cap := slots
+					if need > cap {
+						cap = need // idle bank may serialize the burst
+					}
+					if int(bankUse[ba])+need > cap {
+						conflict = true
+					}
+				} else {
+					if ba >= 0 && int(bankUse[ba])+needA > slots {
+						conflict = true
+					}
+					if bb >= 0 && int(bankUse[bb])+needB > slots {
+						conflict = true
+					}
+				}
+				if conflict {
+					bankConflicts++
+					note(cycle + 1)
+					continue
+				}
+				if ba >= 0 {
+					if bankUse[ba] == 0 {
+						usedBanks = append(usedBanks, ba)
+					}
+					bankUse[ba]++
+					res.Events.SWWReads++
+				}
+				if bb >= 0 {
+					if bankUse[bb] == 0 {
+						usedBanks = append(usedBanks, bb)
+					}
+					bankUse[bb]++ // may exceed slots for a serialized burst
+					res.Events.SWWReads++
+				}
+				if aOoR {
+					res.Events.OoRReads++
+				}
+				if bOoR {
+					res.Events.OoRReads++
+				}
+			}
+
+			// Issue.
+			lat := int64(1)
+			switch in.Op {
+			case isa.AND:
+				lat = andLat
+				res.Events.ANDs++
+			case isa.XOR:
+				res.Events.XORs++
+			}
+			done := cycle + lat
+			if !fwd {
+				done += writeBackPenalty
+			}
+			ready[outAddrs[j]] = done
+			res.Events.SWWWrites++
+			geFree[g] = cycle + 1
+			ptr[g]++
+			remaining--
+			res.IssuedPerGE[g]++
+			if rec != nil {
+				rec(g, cycle)
+			}
+			issued = true
+		}
+
+		if issued {
+			cycle++
+			for _, b := range usedBanks {
+				bankUse[b] = 0
+			}
+			usedBanks = usedBanks[:0]
+		} else if nextEvent > cycle {
+			cycle = nextEvent
+			for _, b := range usedBanks {
+				bankUse[b] = 0
+			}
+			usedBanks = usedBanks[:0]
+		} else {
+			cycle++
+			for _, b := range usedBanks {
+				bankUse[b] = 0
+			}
+			usedBanks = usedBanks[:0]
+		}
+	}
+
+	res.ComputeCycles = cycle
+	res.DataStallCycles = dataStalls
+	res.BankConflicts = bankConflicts
+	res.Events.InstrCount = int64(len(p.Instrs))
+	res.Events.TableCount = int64(p.NumANDs())
+	res.Events.InputLoads = int64(p.NumInputs)
+	res.Events.LiveWrites = int64(p.LiveCount())
+}
+
+// trafficPhase does the byte-exact stream accounting and converts it to
+// GE cycles at the DRAM's sustained bandwidth.
+func (res *Result) trafficPhase(cp *compiler.Compiled) {
+	p := &cp.Program
+	t := &res.Traffic
+	t.InstrBytes = int64(len(p.Instrs)) * instrBytes
+	t.TableBytes = int64(p.NumANDs()) * tableBytes
+	t.OoRBytes = int64(cp.Traffic.OoRWires) * (labelBytes + oorAddrBytes)
+	t.LiveBytes = int64(p.LiveCount()) * labelBytes
+	t.InputBytes = int64(p.NumInputs) * labelBytes
+
+	bytesPerCycle := res.HW.DRAM.Bandwidth / res.HW.GEClock
+	res.TrafficCycles = int64(float64(t.TotalBytes()) / bytesPerCycle)
+	res.WireTrafficCycles = int64(float64(t.WireBytes()) / bytesPerCycle)
+}

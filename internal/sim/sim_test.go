@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"haac/internal/compiler"
+	"haac/internal/workloads"
+)
+
+func compileFor(t *testing.T, w workloads.Workload, hw HW, mode compiler.ReorderMode) *compiler.Compiled {
+	t.Helper()
+	c := w.Build()
+	cp, err := compiler.Compile(c, compiler.Config{
+		Reorder:         mode,
+		ESW:             true,
+		SWWWires:        hw.SWWWires,
+		NumGEs:          hw.NumGEs,
+		GarblerPipeline: hw.Garbler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func smallHW(nge int) HW {
+	hw := DefaultHW()
+	hw.NumGEs = nge
+	hw.SWWWires = 1024
+	return hw
+}
+
+func TestSimulateBasicInvariants(t *testing.T) {
+	hw := smallHW(4)
+	cp := compileFor(t, workloads.MatMult(3, 16), hw, compiler.FullReorder)
+	r, err := Simulate(cp, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nInstr := int64(len(cp.Program.Instrs))
+	if r.Events.ANDs+r.Events.XORs != nInstr {
+		t.Fatalf("event counts %d+%d != %d instructions", r.Events.ANDs, r.Events.XORs, nInstr)
+	}
+	if r.Events.ANDs != int64(cp.Program.NumANDs()) {
+		t.Fatal("AND count mismatch")
+	}
+	if r.Events.OoRReads != int64(cp.Traffic.OoRWires) {
+		t.Fatalf("simulator consumed %d OoR reads, compiler produced %d",
+			r.Events.OoRReads, cp.Traffic.OoRWires)
+	}
+	// With 4 GEs, at least nInstr/4 cycles are needed.
+	if r.ComputeCycles < nInstr/int64(hw.NumGEs) {
+		t.Fatalf("compute cycles %d below issue bound %d", r.ComputeCycles, nInstr/4)
+	}
+	if r.TotalCycles < r.ComputeCycles || r.TotalCycles < r.TrafficCycles {
+		t.Fatal("total cycles below component bounds")
+	}
+	if r.Time() <= 0 {
+		t.Fatal("non-positive time")
+	}
+}
+
+func TestMoreGEsNotSlower(t *testing.T) {
+	// Performance must scale (weakly) with GE count for an ILP-rich
+	// workload — the Fig. 8 property.
+	w := workloads.Hamming(2048)
+	var prev int64 = 1 << 62
+	for _, nge := range []int{1, 2, 4, 8} {
+		hw := DefaultHW()
+		hw.NumGEs = nge
+		cp := compileFor(t, w, hw, compiler.FullReorder)
+		r, err := Simulate(cp, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ComputeCycles > prev {
+			t.Fatalf("compute cycles grew from %d to %d at %d GEs", prev, r.ComputeCycles, nge)
+		}
+		prev = r.ComputeCycles
+	}
+}
+
+func TestReorderImprovesDeepCircuit(t *testing.T) {
+	// A multiplier chain has long dependence chains; level-ordering must
+	// reduce stalls relative to the depth-first baseline on multiple GEs.
+	w := workloads.DotProduct(16, 16)
+	hw := smallHW(8)
+	base, err := Simulate(compileFor(t, w, hw, compiler.Baseline), hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Simulate(compileFor(t, w, hw, compiler.FullReorder), hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ComputeCycles >= base.ComputeCycles {
+		t.Fatalf("full reorder (%d cycles) not faster than baseline (%d)",
+			full.ComputeCycles, base.ComputeCycles)
+	}
+}
+
+func TestForwardingHelps(t *testing.T) {
+	w := workloads.DotProduct(4, 16)
+	hw := smallHW(2)
+	cp := compileFor(t, w, hw, compiler.Baseline)
+	withFwd, err := Simulate(cp, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw2 := hw
+	hw2.Forwarding = false
+	noFwd, err := Simulate(cp, hw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noFwd.ComputeCycles <= withFwd.ComputeCycles {
+		t.Fatalf("disabling forwarding did not slow execution (%d vs %d)",
+			noFwd.ComputeCycles, withFwd.ComputeCycles)
+	}
+}
+
+func TestGarblerSlightlySlower(t *testing.T) {
+	// §6.1: the Garbler pipeline is deeper (21 vs 18), so on a
+	// dependence-limited workload it is slightly slower.
+	w := workloads.GradDesc(2, 2)
+	hwE := smallHW(4)
+	cpE := compileFor(t, w, hwE, compiler.FullReorder)
+	evalRes, err := Simulate(cpE, hwE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwG := hwE
+	hwG.Garbler = true
+	cpG := compileFor(t, w, hwG, compiler.FullReorder)
+	garbRes, err := Simulate(cpG, hwG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if garbRes.ComputeCycles < evalRes.ComputeCycles {
+		t.Fatalf("garbler (%d) faster than evaluator (%d)", garbRes.ComputeCycles, evalRes.ComputeCycles)
+	}
+	ratio := float64(garbRes.ComputeCycles) / float64(evalRes.ComputeCycles)
+	if ratio > 1.25 {
+		t.Fatalf("garbler/evaluator ratio %.2f implausibly large", ratio)
+	}
+}
+
+func TestHBM2ReducesTrafficBound(t *testing.T) {
+	w := workloads.Hamming(4096)
+	hw := smallHW(8)
+	cp := compileFor(t, w, hw, compiler.FullReorder)
+	ddr, err := Simulate(cp, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw2 := hw
+	hw2.DRAM = HBM2
+	hbm, err := Simulate(cp, hw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hbm.TrafficCycles >= ddr.TrafficCycles {
+		t.Fatal("HBM2 did not reduce traffic cycles")
+	}
+	if hbm.ComputeCycles != ddr.ComputeCycles {
+		t.Fatal("DRAM choice changed compute cycles (decoupling broken)")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	hw := smallHW(2)
+	cp := compileFor(t, workloads.AddN(16), hw, compiler.Baseline)
+	r, err := Simulate(cp, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &cp.Program
+	if r.Traffic.InstrBytes != int64(len(p.Instrs))*8 {
+		t.Fatal("instruction bytes wrong")
+	}
+	if r.Traffic.TableBytes != int64(p.NumANDs())*32 {
+		t.Fatal("table bytes wrong")
+	}
+	if r.Traffic.LiveBytes != int64(p.LiveCount())*16 {
+		t.Fatal("live bytes wrong")
+	}
+	if r.Traffic.TotalBytes() != r.Traffic.InstrBytes+r.Traffic.TableBytes+
+		r.Traffic.OoRBytes+r.Traffic.LiveBytes+r.Traffic.InputBytes {
+		t.Fatal("total bytes inconsistent")
+	}
+}
+
+func TestConfigMismatchRejected(t *testing.T) {
+	hw := smallHW(4)
+	cp := compileFor(t, workloads.AddN(8), hw, compiler.Baseline)
+	bad := hw
+	bad.NumGEs = 8
+	if _, err := Simulate(cp, bad); err == nil {
+		t.Fatal("GE-count mismatch accepted")
+	}
+	bad2 := hw
+	bad2.SWWWires = 4096
+	if _, err := Simulate(cp, bad2); err == nil {
+		t.Fatal("SWW mismatch accepted")
+	}
+	if _, err := Simulate(cp, HW{}); err == nil {
+		t.Fatal("invalid HW accepted")
+	}
+}
+
+func TestBankConflictsBounded(t *testing.T) {
+	// 4 banks/GE at 2x clock should keep conflicts rare (§5).
+	hw := smallHW(8)
+	cp := compileFor(t, workloads.MatMult(4, 8), hw, compiler.FullReorder)
+	r, err := Simulate(cp, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BankConflicts > int64(len(cp.Program.Instrs))/2 {
+		t.Fatalf("bank conflicts %d out of %d instructions: banking model broken",
+			r.BankConflicts, len(cp.Program.Instrs))
+	}
+}
+
+func TestSingleGESerializes(t *testing.T) {
+	hw := smallHW(1)
+	cp := compileFor(t, workloads.AddN(32), hw, compiler.Baseline)
+	r, err := Simulate(cp, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ComputeCycles < int64(len(cp.Program.Instrs)) {
+		t.Fatal("one GE cannot issue faster than one instruction per cycle")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	hw := smallHW(4)
+	cp := compileFor(t, workloads.MatMult(3, 16), hw, compiler.FullReorder)
+	res, tr, err := SimulateTraced(cp, hw, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Occupancy) != hw.NumGEs {
+		t.Fatalf("trace rows: %d", len(tr.Occupancy))
+	}
+	// Total traced issues must equal the instruction count.
+	var total float64
+	for _, row := range tr.Occupancy {
+		for _, v := range row {
+			total += float64(v) * float64(tr.CyclesPerBucket)
+		}
+	}
+	n := float64(len(cp.Program.Instrs))
+	if total < n*0.999 || total > n*1.001 {
+		t.Fatalf("trace accounts for %.0f issues, program has %.0f", total, n)
+	}
+	if res.Utilization() <= 0 || res.Utilization() > 1 {
+		t.Fatalf("utilization %v out of range", res.Utilization())
+	}
+	s := tr.Render()
+	if !strings.Contains(s, "GE0") || !strings.Contains(s, "|") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestUtilizationAndImbalance(t *testing.T) {
+	hw := smallHW(4)
+	cp := compileFor(t, workloads.Hamming(512), hw, compiler.FullReorder)
+	r, err := Simulate(cp, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LoadImbalance() < 1 {
+		t.Fatalf("imbalance %v < 1", r.LoadImbalance())
+	}
+	if r.LoadImbalance() > 2 {
+		t.Fatalf("streams badly imbalanced: %v", r.LoadImbalance())
+	}
+	var sum int64
+	for _, n := range r.IssuedPerGE {
+		sum += n
+	}
+	if sum != int64(len(cp.Program.Instrs)) {
+		t.Fatal("issued-per-GE does not sum to instruction count")
+	}
+}
+
+func TestCoupledMatchesDecoupledWithinTolerance(t *testing.T) {
+	// The co-design claim: with realistic queue sizes the finite-queue
+	// model lands near the decoupled max(compute, traffic) bound.
+	for _, wname := range []string{"MatMult", "Hamm", "DotProd"} {
+		var w workloads.Workload
+		for _, cand := range workloads.VIPSuiteSmall() {
+			if cand.Name == wname {
+				w = cand
+			}
+		}
+		hw := smallHW(4)
+		cp := compileFor(t, w, hw, compiler.FullReorder)
+		r, err := SimulateCoupled(cp, hw, DefaultQueues())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TotalCycles < r.DecoupledCycles {
+			t.Fatalf("%s: coupled model (%d) beat its own lower bound (%d)",
+				wname, r.TotalCycles, r.DecoupledCycles)
+		}
+		if e := r.CouplingError(); e > 0.5 {
+			t.Fatalf("%s: coupled model %.0f%% above the decoupled bound; decoupling claim broken",
+				wname, 100*e)
+		}
+	}
+}
+
+func TestCoupledTinyQueuesHurt(t *testing.T) {
+	var w workloads.Workload
+	for _, cand := range workloads.VIPSuiteSmall() {
+		if cand.Name == "MatMult" {
+			w = cand
+		}
+	}
+	hw := smallHW(4)
+	cp := compileFor(t, w, hw, compiler.FullReorder)
+	good, err := SimulateCoupled(cp, hw, DefaultQueues())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := QueueConfig{InstrEntries: 2, TableEntries: 1, OoRWEntries: 1, WriteEntries: 1}
+	bad, err := SimulateCoupled(cp, hw, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.TotalCycles <= good.TotalCycles {
+		t.Fatalf("starving the queues did not hurt (%d vs %d)", bad.TotalCycles, good.TotalCycles)
+	}
+}
+
+func TestCoupledRejectsMismatch(t *testing.T) {
+	hw := smallHW(4)
+	cp := compileFor(t, workloads.AddN(8), hw, compiler.Baseline)
+	bad := hw
+	bad.NumGEs = 8
+	if _, err := SimulateCoupled(cp, bad, DefaultQueues()); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}

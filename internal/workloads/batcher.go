@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"haac/internal/builder"
+	"haac/internal/circuit"
+)
+
+// BatcherSort sorts n width-bit integers with Batcher's odd-even merge
+// sorting network — the O(n log² n) alternative to VIP-Bench's O(n²)
+// bubble network. Keeping both lets the repository quantify how much of
+// BubbSt's 12.5M-gate cost is the algorithm rather than the protocol:
+// at the paper's n=245, Batcher needs ~25x fewer compare-swap blocks.
+// n must be reachable by the network (any n works; indices beyond n are
+// simply skipped).
+func BatcherSort(n, width int) Workload {
+	pairs := batcherPairs(n)
+	return Workload{
+		Name:        fmt.Sprintf("BatchSt-%d", n),
+		Description: fmt.Sprintf("Batcher odd-even mergesort of %d %d-bit integers (%d compare-swaps)", n, width, len(pairs)),
+		PlainOps:    len(pairs) * 3,
+		Build: func() *circuit.Circuit {
+			b := builder.New()
+			arr := make([]builder.Word, n)
+			for i := range arr {
+				arr[i] = b.GarblerInputs(width)
+			}
+			for _, pr := range pairs {
+				arr[pr[0]], arr[pr[1]] = b.SortPair(arr[pr[0]], arr[pr[1]])
+			}
+			for _, w := range arr {
+				b.OutputWord(w)
+			}
+			return b.MustBuild()
+		},
+		Inputs: func(seed int64) ([]bool, []bool) {
+			rng := rand.New(rand.NewSource(seed))
+			return wordsToBits(randWords(rng, n, width), width), nil
+		},
+		Reference: func(g, e []bool) []bool {
+			ws := bitsToWords(g, width)
+			sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+			return wordsToBits(ws, width)
+		},
+	}
+}
+
+// batcherPairs generates the compare-exchange schedule of Batcher's
+// odd-even merge sort for arbitrary n (Knuth TAOCP vol. 3, 5.2.2M).
+func batcherPairs(n int) [][2]int {
+	var pairs [][2]int
+	for p := 1; p < n; p *= 2 {
+		for k := p; k >= 1; k /= 2 {
+			for j := k % p; j <= n-1-k; j += 2 * k {
+				for i := 0; i <= min(k-1, n-j-k-1); i++ {
+					if (i+j)/(2*p) == (i+j+k)/(2*p) {
+						pairs = append(pairs, [2]int{i + j, i + j + k})
+					}
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,310 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"haac/internal/builder"
+	"haac/internal/circuit"
+)
+
+// Extension workloads beyond the paper's eight: classic GC benchmarks
+// from the broader literature (Levenshtein distance is the workhorse of
+// the GPU comparisons the paper cites [62, 63]; private histograms and
+// counter-mode AES show up in the deployment stories of §2.2). They
+// exercise builder features the VIP suite does not touch — division,
+// secret-indexed selection, three-way minima — and give the accelerator
+// additional shapes: dynamic-programming grids (wavefront ILP) and
+// batched symmetric crypto.
+
+// Levenshtein computes the edit distance between two private strings of
+// n symbols, `width` bits each — the evaluator owns one string, the
+// garbler the other. The circuit is the standard O(n²) DP grid; its
+// anti-diagonal wavefront gives ILP ~n, between the VIP suite's serial
+// and embarrassingly parallel extremes.
+func Levenshtein(n, width int) Workload {
+	distWidth := 1
+	for 1<<uint(distWidth) < n+1 {
+		distWidth++
+	}
+	return Workload{
+		Name:        fmt.Sprintf("Leven-%d", n),
+		Description: fmt.Sprintf("edit distance between two %d-symbol strings (%d-bit symbols)", n, width),
+		PlainOps:    3 * n * n,
+		Build: func() *circuit.Circuit {
+			b := builder.New()
+			a := make([]builder.Word, n)
+			c := make([]builder.Word, n)
+			for i := range a {
+				a[i] = b.GarblerInputs(width)
+			}
+			for i := range c {
+				c[i] = b.EvaluatorInputs(width)
+			}
+			one := b.ConstWord(1, distWidth)
+			// DP row; dp[j] = distance between a[:i] and c[:j].
+			dp := make([]builder.Word, n+1)
+			for j := range dp {
+				dp[j] = b.ConstWord(uint64(j), distWidth)
+			}
+			for i := 1; i <= n; i++ {
+				prevDiag := dp[0]
+				dp[0] = b.ConstWord(uint64(i), distWidth)
+				for j := 1; j <= n; j++ {
+					del := b.Add(dp[j], one)
+					ins := b.Add(dp[j-1], one)
+					same := b.Eq(a[i-1], c[j-1])
+					subCost := b.MuxWord(same, prevDiag, b.Add(prevDiag, one))
+					best := b.Min(b.Min(del, ins), subCost)
+					prevDiag = dp[j]
+					dp[j] = best
+				}
+			}
+			b.OutputWord(dp[n])
+			return b.MustBuild()
+		},
+		Inputs: func(seed int64) ([]bool, []bool) {
+			rng := rand.New(rand.NewSource(seed))
+			return wordsToBits(randWords(rng, n, width), width),
+				wordsToBits(randWords(rng, n, width), width)
+		},
+		Reference: func(g, e []bool) []bool {
+			a := bitsToWords(g, width)
+			c := bitsToWords(e, width)
+			dp := make([]uint64, n+1)
+			for j := range dp {
+				dp[j] = uint64(j)
+			}
+			for i := 1; i <= n; i++ {
+				prevDiag := dp[0]
+				dp[0] = uint64(i)
+				for j := 1; j <= n; j++ {
+					sub := prevDiag
+					if a[i-1] != c[j-1] {
+						sub++
+					}
+					best := dp[j] + 1
+					if v := dp[j-1] + 1; v < best {
+						best = v
+					}
+					if sub < best {
+						best = sub
+					}
+					prevDiag = dp[j]
+					dp[j] = best
+				}
+			}
+			mask := uint64(1)<<uint(distWidth) - 1
+			return wordsToBits([]uint64{dp[n] & mask}, distWidth)
+		},
+	}
+}
+
+// Histogram privately buckets n evaluator-owned samples into 2^bWidth
+// equal bins over the width-bit value range, returning the counts. The
+// bucket index is the value's top bWidth bits; per-sample one-hot
+// accumulation is branch-free.
+func Histogram(n, width, bWidth int) Workload {
+	bins := 1 << uint(bWidth)
+	cntWidth := 1
+	for 1<<uint(cntWidth) < n+1 {
+		cntWidth++
+	}
+	return Workload{
+		Name:        fmt.Sprintf("Hist-%d", n),
+		Description: fmt.Sprintf("histogram of %d %d-bit samples into %d bins", n, width, bins),
+		PlainOps:    2 * n,
+		Build: func() *circuit.Circuit {
+			b := builder.New()
+			counts := make([]builder.Word, bins)
+			for i := range counts {
+				counts[i] = b.ConstWord(0, cntWidth)
+			}
+			for s := 0; s < n; s++ {
+				v := b.EvaluatorInputs(width)
+				idx := v[width-bWidth:] // top bits select the bin
+				for k := 0; k < bins; k++ {
+					hit := b.EqConst(idx, uint64(k))
+					inc := make(builder.Word, cntWidth)
+					inc[0] = hit
+					for j := 1; j < cntWidth; j++ {
+						inc[j] = b.Const(false)
+					}
+					counts[k] = b.Add(counts[k], inc)
+				}
+			}
+			for _, c := range counts {
+				b.OutputWord(c)
+			}
+			return b.MustBuild()
+		},
+		Inputs: func(seed int64) ([]bool, []bool) {
+			rng := rand.New(rand.NewSource(seed))
+			return nil, wordsToBits(randWords(rng, n, width), width)
+		},
+		Reference: func(g, e []bool) []bool {
+			vals := bitsToWords(e, width)
+			counts := make([]uint64, bins)
+			for _, v := range vals {
+				counts[v>>(uint(width-bWidth))]++
+			}
+			return wordsToBits(counts, cntWidth)
+		},
+	}
+}
+
+// AESCTR encrypts `blocks` consecutive counter blocks under a private
+// key (garbler) with a private starting counter (evaluator) — the
+// batched symmetric-crypto shape of private analytics pipelines. The
+// key schedule is shared across blocks, so marginal per-block cost is
+// 160 S-boxes.
+func AESCTR(blocks int) Workload {
+	aes := AES128()
+	return Workload{
+		Name:        fmt.Sprintf("AES-CTR-%d", blocks),
+		Description: fmt.Sprintf("AES-128 CTR keystream, %d blocks, in-circuit key schedule", blocks),
+		PlainOps:    160 * blocks,
+		Build: func() *circuit.Circuit {
+			b := builder.New()
+			key := b.GarblerInputs(128)
+			ctr := b.EvaluatorInputs(128)
+			rks := aesKeySchedule(b, key)
+			for blk := 0; blk < blocks; blk++ {
+				in := b.Add(ctr, b.ConstWord(uint64(blk), 128))
+				out := aesEncryptBlock(b, rks, in)
+				b.OutputWord(out)
+			}
+			return b.MustBuild()
+		},
+		Inputs: func(seed int64) ([]bool, []bool) {
+			return aes.Inputs(seed)
+		},
+		Reference: func(g, e []bool) []bool {
+			var out []bool
+			ctr := make([]bool, 128)
+			copy(ctr, e)
+			for blk := 0; blk < blocks; blk++ {
+				// counter + blk as a little-endian 128-bit add.
+				blkCtr := addBits128(e, uint64(blk))
+				out = append(out, aes.Reference(g, blkCtr)...)
+			}
+			_ = ctr
+			return out
+		},
+	}
+}
+
+func addBits128(bits []bool, add uint64) []bool {
+	out := make([]bool, 128)
+	carry := add
+	for i := 0; i < 128; i++ {
+		b := uint64(0)
+		if bits[i] {
+			b = 1
+		}
+		s := b + carry&1
+		carry = carry>>1 + s>>1
+		out[i] = s&1 == 1
+	}
+	return out
+}
+
+// aesKeySchedule and aesEncryptBlock factor the AES circuit pieces so
+// CTR mode can share the schedule; buildAESCircuit (micro.go) is the
+// single-block equivalent.
+func aesKeySchedule(b *builder.B, keyBits builder.Word) [][]builder.Word {
+	key := make([]builder.Word, 16)
+	for i := range key {
+		key[i] = keyBits[i*8 : (i+1)*8]
+	}
+	roundKeys := make([][]builder.Word, 11)
+	roundKeys[0] = key
+	rcon := byte(1)
+	for r := 1; r <= 10; r++ {
+		prev := roundKeys[r-1]
+		rk := make([]builder.Word, 16)
+		var t [4]builder.Word
+		for i := 0; i < 4; i++ {
+			t[i] = b.SBox(prev[12+(i+1)%4])
+		}
+		t[0] = b.XORWords(t[0], b.ConstWord(uint64(rcon), 8))
+		for i := 0; i < 4; i++ {
+			rk[i] = b.XORWords(prev[i], t[i])
+		}
+		for c := 1; c < 4; c++ {
+			for i := 0; i < 4; i++ {
+				rk[4*c+i] = b.XORWords(rk[4*(c-1)+i], prev[4*c+i])
+			}
+		}
+		roundKeys[r] = rk
+		rcon = gf256Double(rcon)
+	}
+	return roundKeys
+}
+
+func aesEncryptBlock(b *builder.B, roundKeys [][]builder.Word, ptBits builder.Word) builder.Word {
+	state := make([]builder.Word, 16)
+	for i := range state {
+		state[i] = ptBits[i*8 : (i+1)*8]
+	}
+	xorBytes := func(x, y []builder.Word) []builder.Word {
+		out := make([]builder.Word, len(x))
+		for i := range x {
+			out[i] = b.XORWords(x[i], y[i])
+		}
+		return out
+	}
+	xtimeW := func(x builder.Word) builder.Word {
+		out := make(builder.Word, 8)
+		hi := x[7]
+		out[0] = hi
+		out[1] = b.XOR(x[0], hi)
+		out[2] = x[1]
+		out[3] = b.XOR(x[2], hi)
+		out[4] = b.XOR(x[3], hi)
+		out[5] = x[4]
+		out[6] = x[5]
+		out[7] = x[6]
+		return out
+	}
+	state = xorBytes(state, roundKeys[0])
+	for r := 1; r <= 10; r++ {
+		for i := range state {
+			state[i] = b.SBox(state[i])
+		}
+		ns := make([]builder.Word, 16)
+		for c := 0; c < 4; c++ {
+			for i := 0; i < 4; i++ {
+				ns[4*c+i] = state[4*((c+i)%4)+i]
+			}
+		}
+		state = ns
+		if r < 10 {
+			ms := make([]builder.Word, 16)
+			for c := 0; c < 4; c++ {
+				a0, a1, a2, a3 := state[4*c], state[4*c+1], state[4*c+2], state[4*c+3]
+				x0, x1, x2, x3 := xtimeW(a0), xtimeW(a1), xtimeW(a2), xtimeW(a3)
+				ms[4*c+0] = b.XORWords(b.XORWords(x0, b.XORWords(x1, a1)), b.XORWords(a2, a3))
+				ms[4*c+1] = b.XORWords(b.XORWords(a0, x1), b.XORWords(b.XORWords(x2, a2), a3))
+				ms[4*c+2] = b.XORWords(b.XORWords(a0, a1), b.XORWords(x2, b.XORWords(x3, a3)))
+				ms[4*c+3] = b.XORWords(b.XORWords(b.XORWords(x0, a0), a1), b.XORWords(a2, x3))
+			}
+			state = ms
+		}
+		state = xorBytes(state, roundKeys[r])
+	}
+	out := make(builder.Word, 0, 128)
+	for _, by := range state {
+		out = append(out, by...)
+	}
+	return out
+}
+
+// ExtensionSuite returns the non-paper workloads at modest sizes.
+func ExtensionSuite() []Workload {
+	return []Workload{
+		Levenshtein(16, 8),
+		Histogram(32, 8, 3),
+		AESCTR(4),
+	}
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"haac/internal/builder"
+	"haac/internal/circuit"
+	"haac/internal/softfloat"
+)
+
+// GradDesc performs `rounds` iterations of batch gradient descent for
+// one-dimensional linear regression y ≈ w·x + b over `samples` data
+// points, entirely in binary32 floating point — the paper's "Linear
+// Regression ... implemented with true floating point arithmetic" (§5).
+// The garbler supplies the x vector, the evaluator the y vector; the
+// learning rate (with the 1/m batch factor folded in) is public.
+// Outputs are the final w and b bit patterns.
+//
+// Paper scale: 20 rounds; samples=12 lands near GradDesc's 6.3M gates.
+// The float semantics are those of internal/softfloat, which the
+// Reference oracle uses, so circuit outputs match it bit for bit.
+func GradDesc(samples, rounds int) Workload {
+	// lr = 1/64: exactly representable, keeps the descent stable for
+	// inputs in [-1, 2).
+	const lrBits = 0x3c800000
+	return Workload{
+		Name: "GradDesc",
+		Description: fmt.Sprintf("linear regression, %d samples x %d rounds of FP32 gradient descent",
+			samples, rounds),
+		PlainOps: rounds * samples * 6,
+		Build: func() *circuit.Circuit {
+			b := builder.New()
+			xs := make([]builder.Word, samples)
+			ys := make([]builder.Word, samples)
+			for i := range xs {
+				xs[i] = b.GarblerInputs(32)
+			}
+			for i := range ys {
+				ys[i] = b.EvaluatorInputs(32)
+			}
+			lr := b.ConstWord(lrBits, 32)
+			w := b.ConstWord(0, 32)
+			bb := b.ConstWord(0, 32)
+			for r := 0; r < rounds; r++ {
+				gw := b.ConstWord(0, 32)
+				gb := b.ConstWord(0, 32)
+				for i := 0; i < samples; i++ {
+					pred := b.FAdd(b.FMul(w, xs[i]), bb)
+					err := b.FSub(pred, ys[i])
+					gw = b.FAdd(gw, b.FMul(err, xs[i]))
+					gb = b.FAdd(gb, err)
+				}
+				w = b.FSub(w, b.FMul(lr, gw))
+				bb = b.FSub(bb, b.FMul(lr, gb))
+			}
+			b.OutputWord(w)
+			b.OutputWord(bb)
+			return b.MustBuild()
+		},
+		Inputs: func(seed int64) ([]bool, []bool) {
+			xs, ys := gradDescData(samples, seed)
+			return wordsToBits(xs, 32), wordsToBits(ys, 32)
+		},
+		Reference: func(g, e []bool) []bool {
+			xs := bitsToWords(g, 32)
+			ys := bitsToWords(e, 32)
+			w, bb := uint32(0), uint32(0)
+			for r := 0; r < rounds; r++ {
+				gw, gb := uint32(0), uint32(0)
+				for i := range xs {
+					pred := softfloat.Add(softfloat.Mul(w, uint32(xs[i])), bb)
+					err := softfloat.Sub(pred, uint32(ys[i]))
+					gw = softfloat.Add(gw, softfloat.Mul(err, uint32(xs[i])))
+					gb = softfloat.Add(gb, err)
+				}
+				w = softfloat.Sub(w, softfloat.Mul(lrBits, gw))
+				bb = softfloat.Sub(bb, softfloat.Mul(lrBits, gb))
+			}
+			return wordsToBits([]uint64{uint64(w), uint64(bb)}, 32)
+		},
+	}
+}
+
+// gradDescData draws x in [-1,2) and y = 0.75x + 0.5 + noise, as bit
+// patterns, so the regression has a well-defined target.
+func gradDescData(samples int, seed int64) (xs, ys []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]uint64, samples)
+	ys = make([]uint64, samples)
+	for i := range xs {
+		x := rng.Float32()*3 - 1
+		y := 0.75*x + 0.5 + (rng.Float32()-0.5)*0.01
+		xs[i] = uint64(softfloat.FromFloat32(x))
+		ys[i] = uint64(softfloat.FromFloat32(y))
+	}
+	return
+}

@@ -1,0 +1,169 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"haac/internal/aes128"
+	"haac/internal/builder"
+	"haac/internal/circuit"
+)
+
+// Micro-benchmarks for the §6.6 / Table 5 comparison against prior
+// accelerators (FASE, MAXelerator, FPGA Overlay, GPU). Sizes follow the
+// prior works' workloads: AES-128, Mult-32, Hamm-50, Million-8/2, Add-6,
+// Add-16, 5x5Matx-8, 3x3Matx-16.
+
+// Mult32 multiplies two 32-bit integers (FASE's Mult-32).
+func Mult32() Workload {
+	w := MatMult(1, 32)
+	w.Name = "Mult-32"
+	w.Description = "single 32x32-bit multiply"
+	w.PlainOps = 1
+	return w
+}
+
+// AddN adds two n-bit integers (FPGA Overlay's Add-6, prior work Add-16).
+func AddN(n int) Workload {
+	return Workload{
+		Name:        fmt.Sprintf("Add-%d", n),
+		Description: fmt.Sprintf("single %d-bit addition", n),
+		PlainOps:    1,
+		Build: func() *circuit.Circuit {
+			b := builder.New()
+			x := b.GarblerInputs(n)
+			y := b.EvaluatorInputs(n)
+			b.OutputWord(b.Add(x, y))
+			return b.MustBuild()
+		},
+		Inputs: func(seed int64) ([]bool, []bool) {
+			rng := rand.New(rand.NewSource(seed))
+			return wordsToBits(randWords(rng, 1, n), n), wordsToBits(randWords(rng, 1, n), n)
+		},
+		Reference: func(g, e []bool) []bool {
+			mask := uint64(1)<<uint(n) - 1
+			s := (bitsToWords(g, n)[0] + bitsToWords(e, n)[0]) & mask
+			return wordsToBits([]uint64{s}, n)
+		},
+	}
+}
+
+// Millionaire compares two n-bit wealth values: outputs 1 iff the
+// garbler is richer (the classic Yao benchmark; FASE's Million-8,
+// FPGA Overlay's Million-2).
+func Millionaire(n int) Workload {
+	return Workload{
+		Name:        fmt.Sprintf("Million-%d", n),
+		Description: fmt.Sprintf("millionaires' problem on %d-bit values", n),
+		PlainOps:    1,
+		Build: func() *circuit.Circuit {
+			b := builder.New()
+			x := b.GarblerInputs(n)
+			y := b.EvaluatorInputs(n)
+			b.Output(b.GtU(x, y))
+			return b.MustBuild()
+		},
+		Inputs: func(seed int64) ([]bool, []bool) {
+			rng := rand.New(rand.NewSource(seed))
+			return wordsToBits(randWords(rng, 1, n), n), wordsToBits(randWords(rng, 1, n), n)
+		},
+		Reference: func(g, e []bool) []bool {
+			return []bool{bitsToWords(g, n)[0] > bitsToWords(e, n)[0]}
+		},
+	}
+}
+
+// HammN is the Hamming workload at prior work's size (Hamm-50).
+func HammN(bits int) Workload {
+	w := Hamming(bits)
+	w.Name = fmt.Sprintf("Hamm-%d", bits)
+	return w
+}
+
+// MatMultMicro is an n×n width-bit matrix multiply named per Table 5
+// ("5x5Matx-8", "3x3Matx-16").
+func MatMultMicro(n, width int) Workload {
+	w := MatMult(n, width)
+	w.Name = fmt.Sprintf("%dx%dMatx-%d", n, n, width)
+	return w
+}
+
+// AES128 encrypts one block: the garbler owns the 128-bit key, the
+// evaluator the 128-bit plaintext. Key expansion happens inside the
+// circuit. S-boxes use the GF(2^4) tower construction (~59 AND each),
+// keeping the AND count comparable to the standard Bristol AES netlist
+// prior accelerators were measured on.
+func AES128() Workload {
+	return Workload{
+		Name:        "AES-128",
+		Description: "one AES-128 block encryption, in-circuit key schedule",
+		PlainOps:    160,
+		Build:       buildAESCircuit,
+		Inputs: func(seed int64) ([]bool, []bool) {
+			rng := rand.New(rand.NewSource(seed))
+			key := make([]bool, 128)
+			pt := make([]bool, 128)
+			for i := range key {
+				key[i] = rng.Intn(2) == 1
+				pt[i] = rng.Intn(2) == 1
+			}
+			return key, pt
+		},
+		Reference: func(g, e []bool) []bool {
+			var key [16]byte
+			var pt [16]byte
+			for i := 0; i < 128; i++ {
+				if g[i] {
+					key[i/8] |= 1 << uint(i%8)
+				}
+				if e[i] {
+					pt[i/8] |= 1 << uint(i%8)
+				}
+			}
+			ct := make([]byte, 16)
+			aes128.EncryptBlock(&key, ct, pt[:])
+			out := make([]bool, 128)
+			for i := 0; i < 128; i++ {
+				out[i] = ct[i/8]>>uint(i%8)&1 == 1
+			}
+			return out
+		},
+	}
+}
+
+// buildAESCircuit constructs the full AES-128 encryption circuit.
+// Bytes are represented as 8-wire little-endian words; the 16-byte state
+// is column-major as in FIPS-197 (byte index 4*c+r). The key-schedule
+// and round-function pieces live in extensions.go so AES-CTR can share
+// the schedule across blocks.
+func buildAESCircuit() *circuit.Circuit {
+	b := builder.New()
+	keyBits := b.GarblerInputs(128)
+	ptBits := b.EvaluatorInputs(128)
+	rks := aesKeySchedule(b, keyBits)
+	out := aesEncryptBlock(b, rks, ptBits)
+	b.OutputWord(out)
+	return b.MustBuild()
+}
+
+func gf256Double(x byte) byte {
+	if x&0x80 != 0 {
+		return x<<1 ^ 0x1b
+	}
+	return x << 1
+}
+
+// MicroSuite returns the Table 5 micro-benchmarks in row order.
+func MicroSuite() []Workload {
+	return []Workload{
+		MatMultMicro(5, 8),
+		MatMultMicro(3, 16),
+		AES128(),
+		Mult32(),
+		HammN(50),
+		Millionaire(8),
+		AddN(6),
+		AddN(16),
+		Millionaire(2),
+	}
+}

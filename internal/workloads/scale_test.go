@@ -1,0 +1,15 @@
+package workloads
+
+import "testing"
+
+func TestPaperScaleStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, w := range VIPSuite() {
+		c := w.Build()
+		s := c.ComputeStats()
+		t.Logf("%-10s gates=%9d AND%%=%5.1f levels=%7d ILP=%8.0f wires=%9d",
+			w.Name, s.Gates, s.ANDPercent, s.Levels, s.ILP, s.Wires)
+	}
+}
