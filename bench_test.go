@@ -9,10 +9,14 @@
 package haac
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
 	"haac/internal/bench"
+	"haac/internal/gc"
+	"haac/internal/label"
+	"haac/internal/workloads"
 )
 
 func benchEnv(b *testing.B) *bench.Env {
@@ -202,4 +206,119 @@ func BenchmarkRekeyingOverhead(b *testing.B) {
 			b.ReportMetric(over, "rekey-overhead-%")
 		}
 	}
+}
+
+// benchParallelCircuit is the large, wide circuit the sequential-vs-
+// parallel garbling benchmarks share (ILP ~267, ~96 ANDs per level).
+func benchParallelCircuit(b *testing.B) *Circuit {
+	b.Helper()
+	return workloads.MatMult(3, 16).Build()
+}
+
+// BenchmarkGarble compares the sequential garbler against the parallel
+// level-scheduled engine at several pool widths on the same circuit.
+// On a multi-core host the x8 variant is expected to run >= 2x faster
+// than sequential; on a single-core host they converge (the engine adds
+// only a few percent of scheduling overhead).
+func BenchmarkGarble(b *testing.B) {
+	c := benchParallelCircuit(b)
+	h := gc.RekeyedHasher{}
+	and, _, _ := c.CountOps()
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gc.Garble(c, h, label.NewSource(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(and)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MAND/s")
+	})
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		b.Run(benchName("parallel", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gc.ParallelGarble(c, h, label.NewSource(7), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(and)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MAND/s")
+		})
+	}
+}
+
+// BenchmarkParallelEval is the evaluator-side counterpart.
+func BenchmarkParallelEval(b *testing.B) {
+	c := benchParallelCircuit(b)
+	h := gc.RekeyedHasher{}
+	w := workloads.MatMult(3, 16)
+	g, e := w.Inputs(5)
+	garbled, err := gc.Garble(c, h, label.NewSource(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := garbled.EncodeInputs(c, g, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gc.ParallelEval(c, h, in, garbled.Tables, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Benchmark2PCPipelined compares full two-party runs: sequential
+// streaming vs the pipelined parallel engine on both sides.
+func Benchmark2PCPipelined(b *testing.B) {
+	c := benchParallelCircuit(b)
+	w := workloads.MatMult(3, 16)
+	g, e := w.Inputs(5)
+	modes := []struct {
+		name string
+		opts RunOptions
+	}{
+		{"sequential", RunOptions{}},
+		{"pipelined-x8", RunOptions{Workers: 8, Pipelined: true}},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run2PCWith(c, g, e, m.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGarblingTable regenerates the sequential-vs-parallel
+// throughput table (cmd/haacbench experiment "parallel").
+func BenchmarkParallelGarblingTable(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.ParallelGarbling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			var best float64
+			for _, r := range rows {
+				if sp := r.Speedup(8); sp > best {
+					best = sp
+				}
+			}
+			b.ReportMetric(best, "best-x8-speedup")
+		}
+	}
+}
+
+func benchName(prefix string, workers int) string {
+	return fmt.Sprintf("%s-x%d", prefix, workers)
 }

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,31 +25,44 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "Bristol netlist file")
-	workload := flag.String("workload", "", "built-in workload name (BubbSt, DotProd, Merse, Triangle, Hamm, MatMult, ReLU, GradDesc, or a micro benchmark)")
-	small := flag.Bool("small", false, "use reduced workload sizes")
-	reorder := flag.String("reorder", "full", "instruction schedule: baseline, full, or seg")
-	esw := flag.Bool("esw", true, "eliminate spent wires (live-bit optimization)")
-	swwMB := flag.Float64("sww-mb", 2, "sliding wire window size in MB")
-	ges := flag.Int("ges", 16, "number of gate engines")
-	garbler := flag.Bool("garbler", false, "schedule for the Garbler pipeline (21-stage) instead of the Evaluator (18)")
-	optimize := flag.Bool("optimize", false, "run netlist optimizations (constant folding, CSE, DCE) before compiling")
-	disasm := flag.Int("disasm", 0, "print a disassembly of the first N instructions")
-	out := flag.String("o", "", "output file for the serialized program")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, compiles and reports,
+// and returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("haac-compile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "Bristol netlist file")
+	workload := fs.String("workload", "", "built-in workload name (BubbSt, DotProd, Merse, Triangle, Hamm, MatMult, ReLU, GradDesc, or a micro benchmark)")
+	small := fs.Bool("small", false, "use reduced workload sizes")
+	reorder := fs.String("reorder", "full", "instruction schedule: baseline, full, or seg")
+	esw := fs.Bool("esw", true, "eliminate spent wires (live-bit optimization)")
+	swwMB := fs.Float64("sww-mb", 2, "sliding wire window size in MB")
+	ges := fs.Int("ges", 16, "number of gate engines")
+	garbler := fs.Bool("garbler", false, "schedule for the Garbler pipeline (21-stage) instead of the Evaluator (18)")
+	optimize := fs.Bool("optimize", false, "run netlist optimizations (constant folding, CSE, DCE) before compiling")
+	disasm := fs.Int("disasm", 0, "print a disassembly of the first N instructions")
+	out := fs.String("o", "", "output file for the serialized program")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	c, name, err := loadCircuit(*in, *workload, *small)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	if *optimize {
 		oc, res, err := opt.Optimize(c)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Println(res)
+		fmt.Fprintln(stdout, res)
 		c = oc
 	}
 
@@ -60,8 +75,8 @@ func main() {
 	case "seg", "segment":
 		mode = compiler.SegmentReorder
 	default:
-		fmt.Fprintf(os.Stderr, "unknown reorder mode %q\n", *reorder)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown reorder mode %q\n", *reorder)
+		return 2
 	}
 
 	cfg := compiler.Config{
@@ -73,50 +88,51 @@ func main() {
 	}
 	cp, err := compiler.Compile(c, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	s := c.ComputeStats()
 	p := &cp.Program
-	fmt.Printf("circuit   %s: %d gates (%.1f%% AND), %d levels, ILP %.0f\n",
+	fmt.Fprintf(stdout, "circuit   %s: %d gates (%.1f%% AND), %d levels, ILP %.0f\n",
 		name, s.Gates, s.ANDPercent, s.Levels, s.ILP)
-	fmt.Printf("program   %d instructions (%d AND), %d inputs, %d outputs\n",
+	fmt.Fprintf(stdout, "program   %d instructions (%d AND), %d inputs, %d outputs\n",
 		len(p.Instrs), p.NumANDs(), p.NumInputs, len(p.OutputAddrs))
-	fmt.Printf("schedule  %s reorder, ESW=%v, %d GEs, %.3g MB SWW (%s pipeline)\n",
+	fmt.Fprintf(stdout, "schedule  %s reorder, ESW=%v, %d GEs, %.3g MB SWW (%s pipeline)\n",
 		mode, *esw, *ges, *swwMB, party(*garbler))
-	fmt.Printf("traffic   live wires %d, OoR reads %d, spent %.2f%%\n",
+	fmt.Fprintf(stdout, "traffic   live wires %d, OoR reads %d, spent %.2f%%\n",
 		cp.Traffic.LiveWires, cp.Traffic.OoRWires, cp.Traffic.SpentPercent())
 	for g, st := range cp.Streams {
 		if g < 4 || g == len(cp.Streams)-1 {
-			fmt.Printf("  GE%-2d  %d instrs, %d tables, %d OoRW entries\n",
+			fmt.Fprintf(stdout, "  GE%-2d  %d instrs, %d tables, %d OoRW entries\n",
 				g, len(st), cp.TablesPerGE[g], len(cp.OoRW[g]))
 		} else if g == 4 {
-			fmt.Printf("  ...\n")
+			fmt.Fprintf(stdout, "  ...\n")
 		}
 	}
 
 	if *disasm > 0 {
-		if err := isa.Disassemble(os.Stdout, p, *disasm); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := isa.Disassemble(stdout, p, *disasm); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		n, err := p.WriteTo(f)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", *out, n)
+		fmt.Fprintf(stdout, "wrote %s (%d bytes)\n", *out, n)
 	}
+	return 0
 }
 
 func party(garbler bool) string {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompileWorkload(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-workload", "Hamm-50", "-disasm", "4"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"circuit   Hamm-50", "program", "schedule  Full reorder", "traffic"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompileWritesProgram(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prog.haac")
+	var out, errw bytes.Buffer
+	code := run([]string{"-workload", "Million-8", "-o", path}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Fatalf("no write confirmation:\n%s", out.String())
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("serialized program is empty")
+	}
+}
+
+func TestCompileBadArgs(t *testing.T) {
+	cases := [][]string{
+		{},                           // neither -in nor -workload
+		{"-workload", "NoSuchThing"}, // unknown workload
+		{"-workload", "Million-8", "-reorder", "sideways"}, // bad mode
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -2,7 +2,8 @@
 // computation over TCP: one invocation plays the garbler (listening),
 // the other the evaluator (dialing). Labels for the evaluator's inputs
 // are delivered with Diffie-Hellman oblivious transfer; tables stream as
-// they are garbled.
+// they are garbled — optionally level-pipelined across a worker pool
+// with -pipelined/-workers.
 //
 // Example — the millionaires' problem on two terminals:
 //
@@ -11,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strings"
@@ -24,18 +27,33 @@ import (
 )
 
 func main() {
-	role := flag.String("role", "", "garbler or evaluator")
-	listen := flag.String("listen", ":9000", "garbler listen address")
-	addr := flag.String("addr", "127.0.0.1:9000", "evaluator dial address")
-	workload := flag.String("workload", "Million-8", "workload name (micro suite or small VIP suite)")
-	value := flag.Uint64("value", 0, "this party's integer input (packed little-endian into its input bits)")
-	otName := flag.String("ot", "dh", "oblivious transfer: dh, iknp, or insecure (benchmarks only)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, plays the selected
+// role and returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("haac-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	role := fs.String("role", "", "garbler or evaluator")
+	listen := fs.String("listen", ":9000", "garbler listen address")
+	addr := fs.String("addr", "127.0.0.1:9000", "evaluator dial address")
+	workload := fs.String("workload", "Million-8", "workload name (micro suite or small VIP suite)")
+	value := fs.Uint64("value", 0, "this party's integer input (packed little-endian into its input bits)")
+	otName := fs.String("ot", "dh", "oblivious transfer: dh, iknp, or insecure (benchmarks only)")
+	workers := fs.Int("workers", 0, "parallel garbling/eval workers (0 = sequential engine)")
+	pipelined := fs.Bool("pipelined", false, "stream tables level-by-level, overlapping garble/transfer/eval")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	w, err := find(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	c := w.Build()
 
@@ -48,34 +66,37 @@ func main() {
 	case "insecure":
 		otp = ot.Insecure
 	default:
-		fmt.Fprintf(os.Stderr, "unknown OT %q\n", *otName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown OT %q\n", *otName)
+		return 2
 	}
-	opts := proto.Options{OT: otp}
+	opts := proto.Options{OT: otp, Workers: *workers, Pipelined: *pipelined}
 
 	var conn net.Conn
 	switch strings.ToLower(*role) {
 	case "garbler":
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer ln.Close()
-		fmt.Printf("garbler: waiting for evaluator on %s (%s: %s)\n", *listen, w.Name, w.Description)
+		fmt.Fprintf(stdout, "garbler: waiting for evaluator on %s (%s: %s)\n", ln.Addr(), w.Name, w.Description)
 		conn, err = ln.Accept()
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	case "evaluator":
 		var err error
 		conn, err = net.Dial("tcp", *addr)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("evaluator: connected to %s (%s)\n", *addr, w.Name)
+		fmt.Fprintf(stdout, "evaluator: connected to %s (%s)\n", *addr, w.Name)
 	default:
-		fmt.Fprintln(os.Stderr, "-role must be garbler or evaluator")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "-role must be garbler or evaluator")
+		return 2
 	}
 	defer conn.Close()
 
@@ -88,10 +109,12 @@ func main() {
 		out, err = proto.RunEvaluator(conn, c, bits, opts)
 	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Printf("result bits: %v\n", out)
-	fmt.Printf("result as integer: %d\n", circuit.BoolsToUint(out))
+	fmt.Fprintf(stdout, "result bits: %v\n", out)
+	fmt.Fprintf(stdout, "result as integer: %d\n", circuit.BoolsToUint(out))
+	return 0
 }
 
 func find(name string) (workloads.Workload, error) {
@@ -106,9 +129,4 @@ func find(name string) (workloads.Workload, error) {
 		names = append(names, w.Name)
 	}
 	return workloads.Workload{}, fmt.Errorf("unknown workload %q; available: %s", name, strings.Join(names, ", "))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

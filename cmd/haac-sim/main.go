@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,24 +26,37 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "Bristol netlist file")
-	workload := flag.String("workload", "", "built-in workload name")
-	small := flag.Bool("small", false, "use reduced workload sizes")
-	reorder := flag.String("reorder", "full", "baseline, full, or seg")
-	esw := flag.Bool("esw", true, "eliminate spent wires")
-	swwMB := flag.Float64("sww-mb", 2, "SWW size in MB")
-	ges := flag.Int("ges", 16, "gate engines")
-	dram := flag.String("dram", "ddr4", "ddr4 or hbm2")
-	garbler := flag.Bool("garbler", false, "Garbler pipeline instead of Evaluator")
-	noFwd := flag.Bool("no-forwarding", false, "disable the wire forwarding network (ablation)")
-	trace := flag.Int("trace", 0, "print a GE-occupancy heatmap with N time buckets")
-	reuse := flag.Bool("reuse", false, "print wire reuse-distance statistics")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, simulates and
+// reports, and returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("haac-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "Bristol netlist file")
+	workload := fs.String("workload", "", "built-in workload name")
+	small := fs.Bool("small", false, "use reduced workload sizes")
+	reorder := fs.String("reorder", "full", "baseline, full, or seg")
+	esw := fs.Bool("esw", true, "eliminate spent wires")
+	swwMB := fs.Float64("sww-mb", 2, "SWW size in MB")
+	ges := fs.Int("ges", 16, "gate engines")
+	dram := fs.String("dram", "ddr4", "ddr4 or hbm2")
+	garbler := fs.Bool("garbler", false, "Garbler pipeline instead of Evaluator")
+	noFwd := fs.Bool("no-forwarding", false, "disable the wire forwarding network (ablation)")
+	trace := fs.Int("trace", 0, "print a GE-occupancy heatmap with N time buckets")
+	reuse := fs.Bool("reuse", false, "print wire reuse-distance statistics")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	c, name, err := loadCircuit(*in, *workload, *small)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	var mode compiler.ReorderMode
@@ -53,8 +68,8 @@ func main() {
 	case "seg", "segment":
 		mode = compiler.SegmentReorder
 	default:
-		fmt.Fprintf(os.Stderr, "unknown reorder mode %q\n", *reorder)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown reorder mode %q\n", *reorder)
+		return 2
 	}
 
 	cfg := compiler.Config{
@@ -64,8 +79,8 @@ func main() {
 	}
 	cp, err := compiler.Compile(c, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	hw := sim.DefaultHW()
@@ -79,55 +94,56 @@ func main() {
 	case "hbm2":
 		hw.DRAM = sim.HBM2
 	default:
-		fmt.Fprintf(os.Stderr, "unknown DRAM %q\n", *dram)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown DRAM %q\n", *dram)
+		return 2
 	}
 
 	r, err := sim.Simulate(cp, hw)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	s := c.ComputeStats()
-	fmt.Printf("workload     %s: %d gates (%.1f%% AND)\n", name, s.Gates, s.ANDPercent)
-	fmt.Printf("config       %d GEs, %.3g MB SWW, %s, %s pipeline, forwarding=%v, %s reorder, ESW=%v\n",
+	fmt.Fprintf(stdout, "workload     %s: %d gates (%.1f%% AND)\n", name, s.Gates, s.ANDPercent)
+	fmt.Fprintf(stdout, "config       %d GEs, %.3g MB SWW, %s, %s pipeline, forwarding=%v, %s reorder, ESW=%v\n",
 		hw.NumGEs, *swwMB, hw.DRAM.Name, party(hw.Garbler), hw.Forwarding, mode, *esw)
-	fmt.Printf("time         %v  (%d cycles @ %.0f MHz)\n", r.Time(), r.TotalCycles, hw.GEClock/1e6)
-	fmt.Printf("  compute    %v  (%d cycles; %d data-stall checks, %d bank conflicts)\n",
+	fmt.Fprintf(stdout, "time         %v  (%d cycles @ %.0f MHz)\n", r.Time(), r.TotalCycles, hw.GEClock/1e6)
+	fmt.Fprintf(stdout, "  compute    %v  (%d cycles; %d data-stall checks, %d bank conflicts)\n",
 		r.ComputeTime(), r.ComputeCycles, r.DataStallCycles, r.BankConflicts)
-	fmt.Printf("  traffic    %d cycles total-stream, %d cycles wire-stream\n", r.TrafficCycles, r.WireTrafficCycles)
+	fmt.Fprintf(stdout, "  traffic    %d cycles total-stream, %d cycles wire-stream\n", r.TrafficCycles, r.WireTrafficCycles)
 	tr := r.Traffic
-	fmt.Printf("traffic      instr %.2f MB, tables %.2f MB, OoR %.2f MB, live %.2f MB, inputs %.2f MB\n",
+	fmt.Fprintf(stdout, "traffic      instr %.2f MB, tables %.2f MB, OoR %.2f MB, live %.2f MB, inputs %.2f MB\n",
 		mb(tr.InstrBytes), mb(tr.TableBytes), mb(tr.OoRBytes), mb(tr.LiveBytes), mb(tr.InputBytes))
 
-	fmt.Printf("GEs          %.0f%% utilized (compute phase), load imbalance %.2f\n",
+	fmt.Fprintf(stdout, "GEs          %.0f%% utilized (compute phase), load imbalance %.2f\n",
 		100*r.Utilization(), r.LoadImbalance())
 
 	b := energy.Energy(r)
-	fmt.Printf("energy       %.3g J (avg %.2f W); half-gate %.0f%%, sram %.0f%%, dram %.0f%%\n",
+	fmt.Fprintf(stdout, "energy       %.3g J (avg %.2f W); half-gate %.0f%%, sram %.0f%%, dram %.0f%%\n",
 		b.Total(), energy.AveragePower(r),
 		100*b.Normalized().HalfGate, 100*b.Normalized().SRAM, 100*b.Normalized().DRAMPHY)
-	fmt.Printf("area         %.2f mm^2 (HAAC IP, 16 nm)\n", energy.AreaFor(hw.NumGEs, hw.SWWWires*16).Total())
+	fmt.Fprintf(stdout, "area         %.2f mm^2 (HAAC IP, 16 nm)\n", energy.AreaFor(hw.NumGEs, hw.SWWWires*16).Total())
 
 	cpu := baseline.MeasureCPU(gc.RekeyedHasher{}, !hw.Garbler)
 	cpuT := cpu.GCTime(s)
-	fmt.Printf("CPU GC       %v on this host (%.0f ns/AND, %.1f ns/XOR) -> speedup %.0fx\n",
+	fmt.Fprintf(stdout, "CPU GC       %v on this host (%.0f ns/AND, %.1f ns/XOR) -> speedup %.0fx\n",
 		cpuT, cpu.NsPerAND, cpu.NsPerXOR, cpuT.Seconds()/r.Time().Seconds())
 
 	if *reuse {
-		fmt.Println()
-		fmt.Println(cp.AnalyzeReuse([]int{hw.SWWWires / 4, hw.SWWWires, 4 * hw.SWWWires}))
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, cp.AnalyzeReuse([]int{hw.SWWWires / 4, hw.SWWWires, 4 * hw.SWWWires}))
 	}
 	if *trace > 0 {
 		_, tr, err := sim.SimulateTraced(cp, hw, *trace)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Println()
-		fmt.Print(tr.Render())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, tr.Render())
 	}
+	return 0
 }
 
 func mb(b int64) float64 { return float64(b) / (1024 * 1024) }

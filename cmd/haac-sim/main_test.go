@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimWorkload(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-workload", "Million-8", "-trace", "4"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"workload     Million-8", "config       16 GEs", "time", "traffic", "energy", "CPU GC"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSimBadArgs(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-workload", "Million-8", "-dram", "sram"},
+		{"-workload", "Million-8", "-reorder", "sideways"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

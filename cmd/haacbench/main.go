@@ -8,12 +8,14 @@
 //	haacbench [-scale paper|small] [-experiments table2,fig6,...]
 //
 // Experiments: table1 table2 table3 table4 table5 fig6 fig7 fig8 fig9
-// fig10 garbler rekey (or "all").
+// fig10 garbler rekey parallel (or "all").
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,14 +24,27 @@ import (
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "paper", "workload scale: paper or small")
-	expFlag := flag.String("experiments", "all", "comma-separated experiment list (table1..table5, fig6..fig10, garbler, rekey, all)")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable entry point: it parses args, runs the
+// selected experiments and returns the process exit status.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("haacbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleFlag := fs.String("scale", "paper", "workload scale: paper or small")
+	expFlag := fs.String("experiments", "all", "comma-separated experiment list (table1..table5, fig6..fig10, garbler, rekey, parallel, all)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -39,20 +54,22 @@ func main() {
 	sel := func(name string) bool { return all || want[name] }
 
 	env := bench.NewEnv(scale)
-	fmt.Printf("HAAC evaluation harness — scale=%s\n", scale)
-	fmt.Printf("==================================================\n\n")
+	fmt.Fprintf(stdout, "HAAC evaluation harness — scale=%s\n", scale)
+	fmt.Fprintf(stdout, "==================================================\n\n")
 
+	status := 0
 	run := func(name, title string, f func() (string, error)) {
-		if !sel(name) {
+		if !sel(name) || status != 0 {
 			return
 		}
 		start := time.Now()
 		out, err := f()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			status = 1
+			return
 		}
-		fmt.Printf("## %s (%s)\n\n%s\n[%s in %v]\n\n", name, title, out, name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "## %s (%s)\n\n%s\n[%s in %v]\n\n", name, title, out, name, time.Since(start).Round(time.Millisecond))
 	}
 
 	run("table1", "PPC technique comparison", func() (string, error) {
@@ -101,6 +118,10 @@ func main() {
 		_, s := bench.RekeyingOverhead()
 		return s, nil
 	})
+	run("parallel", "parallel level-scheduled garbling and pipelined 2PC", func() (string, error) {
+		_, s, err := env.ParallelGarbling()
+		return s, err
+	})
 	run("ablation", "design-choice ablations (forwarding, push OoR, SWW, banking)", func() (string, error) {
 		_, s, err := env.Ablations()
 		return s, err
@@ -117,4 +138,5 @@ func main() {
 		_, s, err := env.Coupling()
 		return s, err
 	})
+	return status
 }

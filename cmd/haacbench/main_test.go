@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchSelectedExperiments(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := realMain([]string{"-scale", "small", "-experiments", "table1,parallel"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"scale=small", "## table1", "## parallel", "2PC pipe ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "## table2") {
+		t.Fatal("unselected experiment ran")
+	}
+}
+
+func TestBenchBadArgs(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := realMain([]string{"-scale", "galactic"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown scale") {
+		t.Fatalf("no diagnostic: %s", errw.String())
+	}
+}

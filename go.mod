@@ -1,0 +1,3 @@
+module haac
+
+go 1.22

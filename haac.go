@@ -17,6 +17,14 @@
 //	c := b.MustBuild()
 //	out, err := haac.Run2PC(c, garblerBits, evalBits)
 //
+//	// The same computation with the parallel level-scheduled engine
+//	// and the pipelined table stream: gates at the same dependence
+//	// level are garbled by a worker pool and each level's tables go on
+//	// the wire as soon as they are ready, overlapping garbling,
+//	// transfer and evaluation like the paper's table-queue design.
+//	out, err = haac.Run2PCWith(c, garblerBits, evalBits,
+//		haac.RunOptions{Workers: 8, Pipelined: true})
+//
 //	// Compile the same circuit for the accelerator and estimate its
 //	// performance on the paper's 16-GE design.
 //	cp, err := haac.Compile(c, haac.DefaultCompilerConfig())
@@ -133,14 +141,74 @@ func Eval(c *Circuit, garbler, evaluator []bool) ([]bool, error) {
 // the plaintext outputs and is the simplest way to check a circuit
 // under real garbling.
 func GarbleAndEvaluate(c *Circuit, garbler, evaluator []bool, seed uint64) ([]bool, error) {
-	if seed == 0 {
-		l, err := label.Rand()
-		if err != nil {
-			return nil, err
-		}
-		seed = l.Lo | 1
+	seed, err := defaultSeed(seed)
+	if err != nil {
+		return nil, err
 	}
 	return gc.Run(c, gc.RekeyedHasher{}, seed, garbler, evaluator)
+}
+
+// defaultSeed draws a random nonzero seed when the caller passed zero.
+func defaultSeed(seed uint64) (uint64, error) {
+	if seed != 0 {
+		return seed, nil
+	}
+	l, err := label.Rand()
+	if err != nil {
+		return 0, err
+	}
+	return l.Lo | 1, nil
+}
+
+// GarbleAndEvaluateWith is GarbleAndEvaluate on the parallel
+// level-scheduled engine: garbling and evaluation each run across
+// opts.Workers workers. Workers follows the RunOptions contract —
+// 0 or 1 runs the engine single-threaded. The garbled output is
+// byte-identical to the sequential path for the same seed.
+func GarbleAndEvaluateWith(c *Circuit, garbler, evaluator []bool, seed uint64, opts RunOptions) ([]bool, error) {
+	seed, err := defaultSeed(seed)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	h := gc.RekeyedHasher{}
+	g, err := gc.ParallelGarble(c, h, label.NewSource(seed), workers)
+	if err != nil {
+		return nil, err
+	}
+	in, err := g.EncodeInputs(c, garbler, evaluator)
+	if err != nil {
+		return nil, err
+	}
+	out, err := gc.ParallelEval(c, h, in, g.Tables, workers)
+	if err != nil {
+		return nil, err
+	}
+	return g.Decode(out)
+}
+
+// RunOptions configures the execution engine of the two-party protocol
+// and the local garbling helpers.
+type RunOptions struct {
+	// Workers is the width of the parallel level-scheduled garbling and
+	// evaluation engine. 0 or 1 keeps the classic sequential path
+	// (unless Pipelined is set, where 0 means one worker per CPU);
+	// values > 1 use gc.ParallelGarble / gc.ParallelEval.
+	Workers int
+	// Pipelined overlaps garbling, table transfer and evaluation: the
+	// garbler streams each dependence level's tables as the worker pool
+	// completes them while the evaluator consumes tables concurrently —
+	// the software analogue of HAAC streaming tables through its table
+	// queues. The wire format is unchanged, so a pipelined party
+	// interoperates with a sequential one.
+	Pipelined bool
+}
+
+func (o RunOptions) proto() proto.Options {
+	return proto.Options{OT: ot.DH, Workers: o.Workers, Pipelined: o.Pipelined}
 }
 
 // Run2PC executes a real two-party computation over an in-memory
@@ -149,20 +217,27 @@ func GarbleAndEvaluate(c *Circuit, garbler, evaluator []bool, seed uint64) ([]bo
 // for tests and demos; for networked execution see RunGarbler and
 // RunEvaluator.
 func Run2PC(c *Circuit, garbler, evaluator []bool) ([]bool, error) {
+	return Run2PCWith(c, garbler, evaluator, RunOptions{})
+}
+
+// Run2PCWith is Run2PC with explicit engine options — e.g.
+// RunOptions{Workers: 8, Pipelined: true} for the parallel pipelined
+// path.
+func Run2PCWith(c *Circuit, garbler, evaluator []bool, opts RunOptions) ([]bool, error) {
 	ga, ev := net.Pipe()
 	defer ga.Close()
 	defer ev.Close()
-	opts := proto.Options{OT: ot.DH}
+	popts := opts.proto()
 	type res struct {
 		bits []bool
 		err  error
 	}
 	ch := make(chan res, 1)
 	go func() {
-		bits, err := proto.RunGarbler(ga, c, garbler, opts)
+		bits, err := proto.RunGarbler(ga, c, garbler, popts)
 		ch <- res{bits, err}
 	}()
-	out, err := proto.RunEvaluator(ev, c, evaluator, opts)
+	out, err := proto.RunEvaluator(ev, c, evaluator, popts)
 	if err != nil {
 		return nil, err
 	}
@@ -178,9 +253,19 @@ func RunGarbler(conn net.Conn, c *Circuit, garblerBits []bool) ([]bool, error) {
 	return proto.RunGarbler(conn, c, garblerBits, proto.Options{OT: ot.DH})
 }
 
+// RunGarblerWith plays the garbler with explicit engine options.
+func RunGarblerWith(conn net.Conn, c *Circuit, garblerBits []bool, opts RunOptions) ([]bool, error) {
+	return proto.RunGarbler(conn, c, garblerBits, opts.proto())
+}
+
 // RunEvaluator plays the evaluator over conn.
 func RunEvaluator(conn net.Conn, c *Circuit, evalBits []bool) ([]bool, error) {
 	return proto.RunEvaluator(conn, c, evalBits, proto.Options{OT: ot.DH})
+}
+
+// RunEvaluatorWith plays the evaluator with explicit engine options.
+func RunEvaluatorWith(conn net.Conn, c *Circuit, evalBits []bool, opts RunOptions) ([]bool, error) {
+	return proto.RunEvaluator(conn, c, evalBits, opts.proto())
 }
 
 // VIPSuite returns the paper's eight VIP-Bench workloads at evaluation

@@ -47,6 +47,44 @@ func TestFacadeBuildEvalGarble2PC(t *testing.T) {
 	}
 }
 
+// TestFacadeParallelPipelined drives the parallel engine and the
+// pipelined 2PC path through the public API.
+func TestFacadeParallelPipelined(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(16)
+	y := b.EvaluatorInputs(16)
+	b.OutputWord(b.Mul(x, y))
+	c := b.MustBuild()
+
+	g := bits(321, 16)
+	e := bits(123, 16)
+	plain, err := Eval(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, err := GarbleAndEvaluateWith(c, g, e, 99, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := Run2PCWith(c, g, e, RunOptions{Workers: 4, Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if par[i] != plain[i] {
+			t.Fatalf("parallel bit %d != plaintext", i)
+		}
+		if pipe[i] != plain[i] {
+			t.Fatalf("pipelined 2PC bit %d != plaintext", i)
+		}
+	}
+	// 321 * 123 = 39483.
+	if v := val(plain); v != 39483 {
+		t.Fatalf("product = %d", v)
+	}
+}
+
 func TestFacadeCompileSimulate(t *testing.T) {
 	b := NewBuilder()
 	x := b.GarblerInputs(32)

@@ -1,0 +1,183 @@
+package circuit
+
+import "testing"
+
+// buildTestCircuit returns a small hand-made circuit exercising all ops:
+//
+//	inputs: g0 g1 | e0 e1          (wires 0..3)
+//	w4 = g0 XOR e0   (level 1)
+//	w5 = g1 AND e1   (level 1)
+//	w6 = NOT w4      (level 2)
+//	w7 = w5 AND w6   (level 3)
+//	w8 = w4 XOR w5   (level 2)
+//	outputs: w7, w8
+func buildTestCircuit() *Circuit {
+	return &Circuit{
+		NumWires:        9,
+		GarblerInputs:   2,
+		EvaluatorInputs: 2,
+		Outputs:         []Wire{7, 8},
+		Gates: []Gate{
+			{Op: XOR, A: 0, B: 2, C: 4},
+			{Op: AND, A: 1, B: 3, C: 5},
+			{Op: INV, A: 4, C: 6},
+			{Op: AND, A: 5, B: 6, C: 7},
+			{Op: XOR, A: 4, B: 5, C: 8},
+		},
+	}
+}
+
+func TestLevelScheduleStructure(t *testing.T) {
+	c := buildTestCircuit()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.LevelSchedule()
+	if s.NumLevels() != 3 {
+		t.Fatalf("levels = %d, want 3", s.NumLevels())
+	}
+	if s.NumAND != 2 {
+		t.Fatalf("NumAND = %d, want 2", s.NumAND)
+	}
+	wantFree := [][]int32{{0}, {2, 4}, {}}
+	wantAND := [][]int32{{1}, {}, {3}}
+	for k := 0; k < 3; k++ {
+		if len(s.Free[k]) != len(wantFree[k]) {
+			t.Errorf("level %d: free %v, want %v", k+1, s.Free[k], wantFree[k])
+			continue
+		}
+		for i := range wantFree[k] {
+			if s.Free[k][i] != wantFree[k][i] {
+				t.Errorf("level %d: free %v, want %v", k+1, s.Free[k], wantFree[k])
+			}
+		}
+		if len(s.AND[k]) != len(wantAND[k]) {
+			t.Errorf("level %d: and %v, want %v", k+1, s.AND[k], wantAND[k])
+			continue
+		}
+		for i := range wantAND[k] {
+			if s.AND[k][i] != wantAND[k][i] {
+				t.Errorf("level %d: and %v, want %v", k+1, s.AND[k], wantAND[k])
+			}
+		}
+	}
+	// Gate 1 is table 0, gate 3 is table 1; free gates have index -1.
+	wantIdx := []int32{-1, 0, -1, 1, -1}
+	for i, w := range wantIdx {
+		if s.ANDIndex[i] != w {
+			t.Errorf("ANDIndex[%d] = %d, want %d", i, s.ANDIndex[i], w)
+		}
+	}
+	// After level 1 the stream prefix [0,1) is ready; table 1 is level 3.
+	wantEmit := []int{1, 1, 2}
+	wantNeed := []int{1, 1, 2}
+	for k := range wantEmit {
+		if s.EmitReady[k] != wantEmit[k] {
+			t.Errorf("EmitReady[%d] = %d, want %d", k, s.EmitReady[k], wantEmit[k])
+		}
+		if s.NeedTables[k] != wantNeed[k] {
+			t.Errorf("NeedTables[%d] = %d, want %d", k, s.NeedTables[k], wantNeed[k])
+		}
+	}
+}
+
+// scheduleInvariants checks the properties every schedule must satisfy,
+// on any circuit: the partition is complete and in gate order, levels
+// respect dependences, watermarks are monotone and consistent.
+func scheduleInvariants(t *testing.T, c *Circuit) {
+	t.Helper()
+	s := c.LevelSchedule()
+	levels := c.Levels()
+
+	seen := make([]bool, len(c.Gates))
+	and, _, _ := c.CountOps()
+	if s.NumAND != and {
+		t.Fatalf("NumAND = %d, CountOps says %d", s.NumAND, and)
+	}
+	nextStream := int32(0)
+	total := 0
+	for k := 0; k < s.NumLevels(); k++ {
+		for _, list := range [][]int32{s.Free[k], s.AND[k]} {
+			prev := int32(-1)
+			for _, gi := range list {
+				if gi <= prev {
+					t.Fatalf("level %d not in gate order", k+1)
+				}
+				prev = gi
+				if levels[gi] != k+1 {
+					t.Fatalf("gate %d in level %d but Levels says %d", gi, k+1, levels[gi])
+				}
+				if seen[gi] {
+					t.Fatalf("gate %d scheduled twice", gi)
+				}
+				seen[gi] = true
+				total++
+			}
+		}
+	}
+	if total != len(c.Gates) {
+		t.Fatalf("schedule covers %d of %d gates", total, len(c.Gates))
+	}
+	// Stream indices are assigned in gate order.
+	for i := range c.Gates {
+		if c.Gates[i].Op == AND {
+			if s.ANDIndex[i] != nextStream {
+				t.Fatalf("gate %d stream index %d, want %d", i, s.ANDIndex[i], nextStream)
+			}
+			nextStream++
+		} else if s.ANDIndex[i] != -1 {
+			t.Fatalf("free gate %d has stream index %d", i, s.ANDIndex[i])
+		}
+	}
+	// Watermarks: monotone, bounded, final values cover the full stream,
+	// and EmitReady never exceeds what the evaluator could need later.
+	prevEmit, prevNeed := 0, 0
+	for k := 0; k < s.NumLevels(); k++ {
+		if s.EmitReady[k] < prevEmit || s.NeedTables[k] < prevNeed {
+			t.Fatalf("watermarks not monotone at level %d", k+1)
+		}
+		if s.EmitReady[k] > s.NumAND || s.NeedTables[k] > s.NumAND {
+			t.Fatalf("watermark out of range at level %d", k+1)
+		}
+		// Everything a level needs must eventually be emitted by the end.
+		if s.EmitReady[k] > s.NumAND {
+			t.Fatalf("EmitReady[%d] overruns stream", k)
+		}
+		prevEmit, prevNeed = s.EmitReady[k], s.NeedTables[k]
+	}
+	if n := s.NumLevels(); n > 0 {
+		if s.EmitReady[n-1] != s.NumAND {
+			t.Fatalf("final EmitReady = %d, want %d", s.EmitReady[n-1], s.NumAND)
+		}
+		if s.NumAND > 0 && s.NeedTables[n-1] != s.NumAND {
+			t.Fatalf("final NeedTables = %d, want %d", s.NeedTables[n-1], s.NumAND)
+		}
+	}
+}
+
+func TestLevelScheduleInvariants(t *testing.T) {
+	scheduleInvariants(t, buildTestCircuit())
+}
+
+func TestLevelScheduleEmptyAndFreeOnly(t *testing.T) {
+	// No gates at all.
+	c := &Circuit{NumWires: 2, GarblerInputs: 1, EvaluatorInputs: 1, Outputs: []Wire{0}}
+	s := c.LevelSchedule()
+	if s.NumLevels() != 0 || s.NumAND != 0 {
+		t.Fatalf("empty circuit: levels=%d numAND=%d", s.NumLevels(), s.NumAND)
+	}
+	// XOR-only circuit: one level, no tables.
+	c = &Circuit{
+		NumWires: 3, GarblerInputs: 1, EvaluatorInputs: 1,
+		Outputs: []Wire{2},
+		Gates:   []Gate{{Op: XOR, A: 0, B: 1, C: 2}},
+	}
+	s = c.LevelSchedule()
+	if s.NumAND != 0 || s.NumLevels() != 1 {
+		t.Fatalf("xor-only: levels=%d numAND=%d", s.NumLevels(), s.NumAND)
+	}
+	if s.EmitReady[0] != 0 || s.NeedTables[0] != 0 {
+		t.Fatalf("xor-only watermarks: emit=%d need=%d", s.EmitReady[0], s.NeedTables[0])
+	}
+	scheduleInvariants(t, c)
+}

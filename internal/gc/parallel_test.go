@@ -1,0 +1,290 @@
+package gc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"haac/internal/label"
+	"haac/internal/workloads"
+)
+
+// parallelCircuits are the circuits the determinism suite sweeps:
+// shallow-wide, deep-narrow and mixed shapes from the real workload
+// generators.
+func parallelCircuits() []workloads.Workload {
+	return []workloads.Workload{
+		workloads.Hamming(128),
+		workloads.Mult32(),
+		workloads.DotProduct(4, 16),
+		workloads.Millionaire(16),
+		workloads.ReLU(8, 16),
+	}
+}
+
+func equalGarbled(a, b *Garbled) error {
+	if a.R != b.R {
+		return fmt.Errorf("R differs: %s vs %s", a.R, b.R)
+	}
+	if len(a.InputZeros) != len(b.InputZeros) {
+		return fmt.Errorf("input count differs")
+	}
+	for i := range a.InputZeros {
+		if a.InputZeros[i] != b.InputZeros[i] {
+			return fmt.Errorf("input zero %d differs", i)
+		}
+	}
+	if len(a.Tables) != len(b.Tables) {
+		return fmt.Errorf("table count differs: %d vs %d", len(a.Tables), len(b.Tables))
+	}
+	for i := range a.Tables {
+		if a.Tables[i] != b.Tables[i] {
+			return fmt.Errorf("table %d differs: %x vs %x", i, a.Tables[i].Bytes(), b.Tables[i].Bytes())
+		}
+	}
+	if len(a.OutputZeros) != len(b.OutputZeros) {
+		return fmt.Errorf("output count differs")
+	}
+	for i := range a.OutputZeros {
+		if a.OutputZeros[i] != b.OutputZeros[i] {
+			return fmt.Errorf("output zero %d differs", i)
+		}
+	}
+	return nil
+}
+
+// TestParallelGarbleDeterminism is the tentpole invariant: for every
+// worker count the parallel engine's output is byte-identical to the
+// sequential garbler, across circuits, seeds and both hashers.
+func TestParallelGarbleDeterminism(t *testing.T) {
+	hashers := []Hasher{RekeyedHasher{}, NewFixedKeyHasher([16]byte{9, 9})}
+	for _, w := range parallelCircuits() {
+		c := w.Build()
+		for _, h := range hashers {
+			for _, seed := range []uint64{1, 42, 0xfeedface} {
+				want, err := Garble(c, h, label.NewSource(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 4, 8} {
+					got, err := ParallelGarble(c, h, label.NewSource(seed), workers)
+					if err != nil {
+						t.Fatalf("%s/%s/seed=%d/w=%d: %v", w.Name, h.Name(), seed, workers, err)
+					}
+					if err := equalGarbled(want, got); err != nil {
+						t.Fatalf("%s/%s/seed=%d/w=%d: %v", w.Name, h.Name(), seed, workers, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEvalMatchesSequential checks the evaluator side: same
+// output labels as Evaluate for every worker count, and correct
+// plaintext after decoding.
+func TestParallelEvalMatchesSequential(t *testing.T) {
+	h := RekeyedHasher{}
+	for _, w := range parallelCircuits() {
+		c := w.Build()
+		g, e := w.Inputs(7)
+		want := w.Reference(g, e)
+
+		garbled, err := Garble(c, h, label.NewSource(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := garbled.EncodeInputs(c, g, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqOut, err := Evaluate(c, h, in, garbled.Tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			parOut, err := ParallelEval(c, h, in, garbled.Tables, workers)
+			if err != nil {
+				t.Fatalf("%s/w=%d: %v", w.Name, workers, err)
+			}
+			for i := range seqOut {
+				if parOut[i] != seqOut[i] {
+					t.Fatalf("%s/w=%d: output label %d differs", w.Name, workers, i)
+				}
+			}
+			bits, err := garbled.Decode(parOut)
+			if err != nil {
+				t.Fatalf("%s/w=%d: %v", w.Name, workers, err)
+			}
+			for i := range want {
+				if bits[i] != want[i] {
+					t.Fatalf("%s/w=%d: plaintext bit %d wrong", w.Name, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGarbleStreamChunks checks the streaming hook: chunks are
+// contiguous, cover the whole stream, and match the in-memory tables.
+func TestParallelGarbleStreamChunks(t *testing.T) {
+	w := workloads.Hamming(128)
+	c := w.Build()
+	h := RekeyedHasher{}
+	want, err := Garble(c, h, label.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Material
+	chunks := 0
+	got, err := ParallelGarbleStream(c, h, label.NewSource(5), 4, func(tables []Material) error {
+		streamed = append(streamed, tables...)
+		chunks++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equalGarbled(want, got); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(want.Tables) {
+		t.Fatalf("streamed %d tables, want %d", len(streamed), len(want.Tables))
+	}
+	for i := range streamed {
+		if streamed[i] != want.Tables[i] {
+			t.Fatalf("streamed table %d differs", i)
+		}
+	}
+	if chunks < 2 {
+		t.Fatalf("expected level-by-level chunking, got %d chunk(s)", chunks)
+	}
+}
+
+// TestParallelGarbleStreamEmitError checks an emit failure aborts.
+func TestParallelGarbleStreamEmitError(t *testing.T) {
+	c := workloads.Hamming(128).Build()
+	boom := fmt.Errorf("pipe broke")
+	_, err := ParallelGarbleStream(c, RekeyedHasher{}, label.NewSource(5), 2, func([]Material) error {
+		return boom
+	})
+	if err == nil {
+		t.Fatal("emit error not propagated")
+	}
+}
+
+// TestParallelEvalStreamBlocking drives ParallelEvalStream through a
+// table source that releases tables incrementally from another goroutine,
+// the shape the pipelined protocol uses.
+func TestParallelEvalStreamBlocking(t *testing.T) {
+	w := workloads.Mult32()
+	c := w.Build()
+	h := RekeyedHasher{}
+	g, e := w.Inputs(3)
+	want := w.Reference(g, e)
+
+	garbled, err := Garble(c, h, label.NewSource(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := garbled.EncodeInputs(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feeder: release tables in small batches.
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	released := 0
+	go func() {
+		for released < len(garbled.Tables) {
+			mu.Lock()
+			released += 37
+			if released > len(garbled.Tables) {
+				released = len(garbled.Tables)
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}()
+	need := func(n int) ([]Material, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		for released < n {
+			cond.Wait()
+		}
+		return garbled.Tables[:released], nil
+	}
+
+	out, err := ParallelEvalStream(c, h, in, 4, need)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := garbled.Decode(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+}
+
+// TestParallelEvalTableCountMismatch mirrors the sequential engine's
+// stream-exhaustion errors.
+func TestParallelEvalTableCountMismatch(t *testing.T) {
+	w := workloads.Millionaire(8)
+	c := w.Build()
+	h := RekeyedHasher{}
+	g, e := w.Inputs(1)
+	garbled, err := Garble(c, h, label.NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := garbled.EncodeInputs(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParallelEval(c, h, in, garbled.Tables[:len(garbled.Tables)-1], 2); err == nil {
+		t.Fatal("short table stream accepted")
+	}
+	if _, err := ParallelEval(c, h, in, append(append([]Material{}, garbled.Tables...), Material{}), 2); err == nil {
+		t.Fatal("overlong table stream accepted")
+	}
+}
+
+// TestHash4MatchesHash pins the batched fixed-key path to the scalar one.
+func TestHash4MatchesHash(t *testing.T) {
+	h := NewFixedKeyHasher([16]byte{1, 2, 3})
+	src := label.NewSource(99)
+	for i := 0; i < 64; i++ {
+		l0, l1, l2, l3 := src.Next(), src.Next(), src.Next(), src.Next()
+		t0, t1 := uint64(2*i), uint64(2*i+1)
+		g0, g1, g2, g3 := h.Hash4(l0, l1, l2, l3, t0, t0, t1, t1)
+		if g0 != h.Hash(l0, t0) || g1 != h.Hash(l1, t0) || g2 != h.Hash(l2, t1) || g3 != h.Hash(l3, t1) {
+			t.Fatalf("Hash4 diverges from Hash at round %d", i)
+		}
+	}
+}
+
+// TestFixedKeyHasherConcurrent hammers one shared hasher from many
+// goroutines; run under -race this proves the shared-cipher claim.
+func TestFixedKeyHasherConcurrent(t *testing.T) {
+	h := NewFixedKeyHasher([16]byte{42})
+	l := label.L{Lo: 123, Hi: 456}
+	want := h.Hash(l, 77)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if h.Hash(l, 77) != want {
+					panic("fixed-key hash not stable under concurrency")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -12,6 +12,7 @@ package gc
 
 import (
 	"crypto/aes"
+	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
 
@@ -52,6 +53,25 @@ type Hasher interface {
 	Name() string
 }
 
+// Hasher4 is an optional batched extension of Hasher: all four hashes of
+// one AND gate in a single call, letting constructions with a reusable
+// cipher stage the blocks through it without per-call overhead. The
+// garbling engines use it when available; results must equal four
+// individual Hash calls.
+type Hasher4 interface {
+	Hasher
+	Hash4(l0, l1, l2, l3 label.L, t0, t1, t2, t3 uint64) (h0, h1, h2, h3 label.L)
+}
+
+// hash4 computes the four half-gate hashes of one AND gate, through the
+// batched path when the hasher provides one.
+func hash4(h Hasher, a0, a1, b0, b1 label.L, t0, t1 uint64) (ha0, ha1, hb0, hb1 label.L) {
+	if b, ok := h.(Hasher4); ok {
+		return b.Hash4(a0, a1, b0, b1, t0, t0, t1, t1)
+	}
+	return h.Hash(a0, t0), h.Hash(a1, t0), h.Hash(b0, t1), h.Hash(b1, t1)
+}
+
 // RekeyedHasher is the paper's secure construction: the AES key is the
 // tweak (gate-index-derived), so every call pays a key expansion —
 // H(L, t) = AES_{K(t)}(L) XOR L. This is what HAAC's hardware pipeline
@@ -82,10 +102,12 @@ func (RekeyedHasher) Name() string { return "rekeyed" }
 // it exists here to reproduce the §2.1 "+27.5%" re-keying overhead
 // comparison.
 type FixedKeyHasher struct {
-	blk interface{ Encrypt(dst, src []byte) }
+	blk cipher.Block
 }
 
 // NewFixedKeyHasher builds a FixedKeyHasher with the given global key.
+// The underlying AES block cipher is expanded once and is safe for
+// concurrent use, so one hasher can be shared by a whole worker pool.
 func NewFixedKeyHasher(key [16]byte) *FixedKeyHasher {
 	blk, err := aes.NewCipher(key[:])
 	if err != nil {
@@ -94,13 +116,39 @@ func NewFixedKeyHasher(key [16]byte) *FixedKeyHasher {
 	return &FixedKeyHasher{blk: blk}
 }
 
+// double computes the 2L xor t input block of the fixed-key hash.
+func double(l label.L, tweak uint64) label.L {
+	return label.L{Lo: l.Lo<<1 ^ tweak, Hi: l.Hi<<1 | l.Lo>>63}
+}
+
 // Hash implements Hasher.
 func (h *FixedKeyHasher) Hash(l label.L, tweak uint64) label.L {
-	d := label.L{Lo: l.Lo<<1 ^ tweak, Hi: l.Hi<<1 | l.Lo>>63}
+	d := double(l, tweak)
 	in := d.Bytes()
 	var out [16]byte
 	h.blk.Encrypt(out[:], in[:])
 	return label.FromBytes(out[:]).Xor(d)
+}
+
+// Hash4 implements Hasher4: the four blocks of one AND gate are staged
+// through the single expanded cipher using stack scratch buffers, so a
+// garbling worker pays no allocation and no interface dispatch per hash.
+func (h *FixedKeyHasher) Hash4(l0, l1, l2, l3 label.L, t0, t1, t2, t3 uint64) (h0, h1, h2, h3 label.L) {
+	d0, d1, d2, d3 := double(l0, t0), double(l1, t1), double(l2, t2), double(l3, t3)
+	var in, out [4 * label.Size]byte
+	d0.Put(in[0:16])
+	d1.Put(in[16:32])
+	d2.Put(in[32:48])
+	d3.Put(in[48:64])
+	blk := h.blk
+	blk.Encrypt(out[0:16], in[0:16])
+	blk.Encrypt(out[16:32], in[16:32])
+	blk.Encrypt(out[32:48], in[32:48])
+	blk.Encrypt(out[48:64], in[48:64])
+	return label.FromBytes(out[0:16]).Xor(d0),
+		label.FromBytes(out[16:32]).Xor(d1),
+		label.FromBytes(out[32:48]).Xor(d2),
+		label.FromBytes(out[48:64]).Xor(d3)
 }
 
 // Name implements Hasher.
@@ -131,10 +179,7 @@ func garbleAND(h Hasher, a0, b0, r label.L, j uint64) (Material, label.L) {
 	b1 := b0.Xor(r)
 	t0, t1 := 2*j, 2*j+1
 
-	ha0 := h.Hash(a0, t0)
-	ha1 := h.Hash(a1, t0)
-	hb0 := h.Hash(b0, t1)
-	hb1 := h.Hash(b1, t1)
+	ha0, ha1, hb0, hb1 := hash4(h, a0, a1, b0, b1, t0, t1)
 
 	// Garbler half: handles the evaluator-known colour of wire A.
 	tg := ha0.Xor(ha1)

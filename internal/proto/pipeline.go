@@ -1,0 +1,172 @@
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"haac/internal/circuit"
+	"haac/internal/gc"
+	"haac/internal/label"
+)
+
+// Pipelined 2PC: the garbler runs the level-parallel engine and flushes
+// each dependence level's tables to the wire the moment the worker pool
+// finishes them, while the evaluator's reader goroutine pulls tables off
+// the wire concurrently with level-parallel evaluation. Garbling,
+// transfer and evaluation overlap exactly like the paper's table-queue
+// design; the byte stream is identical to the sequential path, so either
+// side can be pipelined independently of its peer.
+
+// garblerPipelined implements RunGarbler's Pipelined mode. The header has
+// already been written to w.
+func garblerPipelined(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, garblerBits []bool, opts Options) ([]bool, error) {
+	lg, err := gc.NewLevelGarbler(c, opts.Hasher, label.NewSource(opts.Seed), opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := sendActiveInputs(w, c, lg.InputZeros(), lg.R(), garblerBits); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Garble on a separate goroutine from here on: levels complete (and
+	// queue up) while the interactive OT below is still in flight.
+	type garbleResult struct {
+		garbled *gc.Garbled
+		err     error
+	}
+	chunks := make(chan []gc.Material, 64)
+	done := make(chan garbleResult, 1)
+	go func() {
+		garbled, err := lg.Run(func(tables []gc.Material) error {
+			chunks <- tables
+			return nil
+		})
+		close(chunks)
+		done <- garbleResult{garbled, err}
+	}()
+	// abort drains the garbling goroutine before surfacing an error so
+	// it never blocks forever on the chunk channel.
+	abort := func(err error) ([]bool, error) {
+		for range chunks {
+		}
+		<-done
+		return nil, err
+	}
+
+	if err := sendEvalLabels(conn, c, lg.InputZeros(), lg.R(), opts.OT); err != nil {
+		return abort(err)
+	}
+
+	// Drain the table queue onto the wire. Each chunk is flushed so the
+	// evaluator can start on a level while later levels are still being
+	// garbled.
+	for tables := range chunks {
+		if err := writeTables(w, tables); err != nil {
+			return abort(err)
+		}
+		if err := w.Flush(); err != nil {
+			return abort(err)
+		}
+	}
+	res := <-done
+	if res.err != nil {
+		return nil, res.err
+	}
+	return finishGarbler(conn, w, c, res.garbled)
+}
+
+// evalSequential is the classic gate-by-gate streaming evaluator.
+func evalSequential(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, opts Options) ([]label.L, error) {
+	se, err := gc.NewStreamEvaluator(c, opts.Hasher, inputs)
+	if err != nil {
+		return nil, err
+	}
+	tbuf := make([]byte, gc.MaterialSize)
+	for se.NeedTable() {
+		if _, err := io.ReadFull(rd, tbuf); err != nil {
+			return nil, fmt.Errorf("proto: reading tables: %w", err)
+		}
+		if err := se.Feed(gc.MaterialFromBytes(tbuf)); err != nil {
+			return nil, err
+		}
+	}
+	return se.Outputs()
+}
+
+// evalOffline reads the whole table stream into memory, then evaluates
+// it with the parallel engine.
+func evalOffline(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTables int, opts Options) ([]label.L, error) {
+	tables := make([]gc.Material, nTables)
+	tbuf := make([]byte, gc.MaterialSize)
+	for i := 0; i < nTables; i++ {
+		if _, err := io.ReadFull(rd, tbuf); err != nil {
+			return nil, fmt.Errorf("proto: reading tables: %w", err)
+		}
+		tables[i] = gc.MaterialFromBytes(tbuf)
+	}
+	return gc.ParallelEval(c, opts.Hasher, inputs, tables, opts.Workers)
+}
+
+// evalPipelined overlaps table transfer with evaluation: a reader
+// goroutine appends tables to a shared buffer as they arrive and the
+// level-parallel evaluator blocks only until the watermark its next
+// level needs has landed.
+func evalPipelined(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTables int, opts Options) ([]label.L, error) {
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	tables := make([]gc.Material, 0, nTables)
+	var readErr error
+
+	go func() {
+		tbuf := make([]byte, gc.MaterialSize)
+		for i := 0; i < nTables; i++ {
+			if _, err := io.ReadFull(rd, tbuf); err != nil {
+				mu.Lock()
+				readErr = fmt.Errorf("proto: reading tables: %w", err)
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			m := gc.MaterialFromBytes(tbuf)
+			mu.Lock()
+			tables = append(tables, m)
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}()
+
+	need := func(n int) ([]gc.Material, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		for len(tables) < n && readErr == nil {
+			cond.Wait()
+		}
+		if len(tables) < n {
+			return nil, readErr
+		}
+		return tables[:len(tables):len(tables)], nil
+	}
+	out, evalErr := gc.ParallelEvalStream(c, opts.Hasher, inputs, opts.Workers, need)
+
+	// Join the reader before the caller touches rd again (the decode
+	// bits follow the tables on the same stream).
+	mu.Lock()
+	for len(tables) < nTables && readErr == nil {
+		cond.Wait()
+	}
+	re := readErr
+	mu.Unlock()
+
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if re != nil {
+		return nil, re
+	}
+	return out, nil
+}

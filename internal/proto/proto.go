@@ -46,6 +46,18 @@ type Options struct {
 	Seed uint64
 	// Stats, when non-nil, collects transfer metrics for the run.
 	Stats *Stats
+	// Workers sets the width of the parallel garbling/evaluation engine.
+	// 0 or 1 keeps the classic sequential path (unless Pipelined is set,
+	// where 0 means one worker per CPU); > 1 garbles and evaluates with
+	// gc.ParallelGarble / gc.ParallelEval.
+	Workers int
+	// Pipelined overlaps garbling, table transfer and evaluation: the
+	// garbler streams each dependence level's tables as the worker pool
+	// finishes them while the evaluator consumes tables concurrently
+	// with evaluation — the software analogue of HAAC's table queues.
+	// The wire format is unchanged, so a pipelined party interoperates
+	// with a sequential peer.
+	Pipelined bool
 }
 
 func (o *Options) fill() error {
@@ -94,8 +106,89 @@ func headerFor(c *circuit.Circuit, opts Options) header {
 	return h
 }
 
+// sendActiveInputs writes the garbler's active labels and, if present,
+// the constant labels in wire order.
+func sendActiveInputs(w *bufio.Writer, c *circuit.Circuit, zeros []label.L, r label.L, garblerBits []bool) error {
+	buf := make([]byte, label.Size)
+	writeLabel := func(l label.L) error {
+		l.Put(buf)
+		_, err := w.Write(buf)
+		return err
+	}
+	for i, v := range garblerBits {
+		l := zeros[i]
+		if v {
+			l = l.Xor(r)
+		}
+		if err := writeLabel(l); err != nil {
+			return fmt.Errorf("proto: sending garbler labels: %w", err)
+		}
+	}
+	if c.HasConst {
+		if err := writeLabel(zeros[c.Const0]); err != nil {
+			return err
+		}
+		if err := writeLabel(zeros[c.Const1].Xor(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendEvalLabels runs the sender side of the OT that delivers the
+// evaluator's input labels.
+func sendEvalLabels(conn io.ReadWriter, c *circuit.Circuit, zeros []label.L, r label.L, otp ot.Protocol) error {
+	if c.EvaluatorInputs == 0 {
+		return nil
+	}
+	pairs := make([]ot.Pair, c.EvaluatorInputs)
+	off := c.GarblerInputs
+	for i := range pairs {
+		pairs[i] = ot.Pair{M0: zeros[off+i], M1: zeros[off+i].Xor(r)}
+	}
+	if err := ot.Send(conn, otp, pairs); err != nil {
+		return fmt.Errorf("proto: OT: %w", err)
+	}
+	return nil
+}
+
+// writeTables streams a chunk of the gate-order table stream.
+func writeTables(w *bufio.Writer, tables []gc.Material) error {
+	for _, m := range tables {
+		mb := m.Bytes()
+		if _, err := w.Write(mb[:]); err != nil {
+			return fmt.Errorf("proto: streaming tables: %w", err)
+		}
+	}
+	return nil
+}
+
+// finishGarbler sends the decode bits and collects the evaluator's
+// plaintext result.
+func finishGarbler(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, garbled *gc.Garbled) ([]bool, error) {
+	for _, d := range garbled.DecodeBits() {
+		if err := w.WriteByte(byte(d)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	res := make([]byte, len(c.Outputs))
+	if _, err := io.ReadFull(conn, res); err != nil {
+		return nil, fmt.Errorf("proto: reading result: %w", err)
+	}
+	out := make([]bool, len(res))
+	for i, b := range res {
+		out[i] = b == 1
+	}
+	return out, nil
+}
+
 // RunGarbler executes the garbler role end to end and returns the
-// plaintext outputs reported back by the evaluator.
+// plaintext outputs reported back by the evaluator. Options select the
+// engine: sequential streaming (default), offline parallel (Workers > 1)
+// or level-pipelined parallel (Pipelined).
 func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts Options) ([]bool, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
@@ -113,6 +206,13 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 		return nil, fmt.Errorf("proto: writing header: %w", err)
 	}
 
+	if opts.Pipelined {
+		return garblerPipelined(conn, w, c, garblerBits, opts)
+	}
+	if opts.Workers > 1 {
+		return garblerOffline(conn, w, c, garblerBits, opts)
+	}
+
 	sg, err := gc.NewStreamGarbler(c, opts.Hasher, label.NewSource(opts.Seed))
 	if err != nil {
 		return nil, err
@@ -120,81 +220,51 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 	zeros := sg.InputZeros()
 	r := sg.R()
 
-	// Garbler's own active labels, then constants.
-	buf := make([]byte, label.Size)
-	writeLabel := func(l label.L) error {
-		l.Put(buf)
-		_, err := w.Write(buf)
-		return err
-	}
-	for i, v := range garblerBits {
-		l := zeros[i]
-		if v {
-			l = l.Xor(r)
-		}
-		if err := writeLabel(l); err != nil {
-			return nil, fmt.Errorf("proto: sending garbler labels: %w", err)
-		}
-	}
-	if c.HasConst {
-		if err := writeLabel(zeros[c.Const0]); err != nil {
-			return nil, err
-		}
-		if err := writeLabel(zeros[c.Const1].Xor(r)); err != nil {
-			return nil, err
-		}
+	if err := sendActiveInputs(w, c, zeros, r, garblerBits); err != nil {
+		return nil, err
 	}
 	if err := w.Flush(); err != nil {
 		return nil, err
 	}
-
-	// OT for the evaluator's labels.
-	if c.EvaluatorInputs > 0 {
-		pairs := make([]ot.Pair, c.EvaluatorInputs)
-		off := c.GarblerInputs
-		for i := range pairs {
-			pairs[i] = ot.Pair{M0: zeros[off+i], M1: zeros[off+i].Xor(r)}
-		}
-		if err := ot.Send(conn, opts.OT, pairs); err != nil {
-			return nil, fmt.Errorf("proto: OT: %w", err)
-		}
+	if err := sendEvalLabels(conn, c, zeros, r, opts.OT); err != nil {
+		return nil, err
 	}
 
-	// Stream tables.
-	tbuf := make([]byte, gc.MaterialSize)
+	// Stream tables gate by gate.
 	for {
 		m, ok := sg.Next()
 		if !ok {
 			break
 		}
 		mb := m.Bytes()
-		copy(tbuf, mb[:])
-		if _, err := w.Write(tbuf); err != nil {
+		if _, err := w.Write(mb[:]); err != nil {
 			return nil, fmt.Errorf("proto: streaming tables: %w", err)
 		}
 	}
-	garbled := sg.Finish()
+	return finishGarbler(conn, w, c, sg.Finish())
+}
 
-	// Decode bits.
-	for _, d := range garbled.DecodeBits() {
-		if err := w.WriteByte(byte(d)); err != nil {
-			return nil, err
-		}
+// garblerOffline garbles the whole circuit with the parallel engine
+// before any label leaves the machine, then bulk-streams the result —
+// the paper's "offline phase to completion" baseline.
+func garblerOffline(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, garblerBits []bool, opts Options) ([]bool, error) {
+	garbled, err := gc.ParallelGarble(c, opts.Hasher, label.NewSource(opts.Seed), opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := sendActiveInputs(w, c, garbled.InputZeros, garbled.R, garblerBits); err != nil {
+		return nil, err
 	}
 	if err := w.Flush(); err != nil {
 		return nil, err
 	}
-
-	// Receive the evaluator's plaintext result.
-	res := make([]byte, len(c.Outputs))
-	if _, err := io.ReadFull(conn, res); err != nil {
-		return nil, fmt.Errorf("proto: reading result: %w", err)
+	if err := sendEvalLabels(conn, c, garbled.InputZeros, garbled.R, opts.OT); err != nil {
+		return nil, err
 	}
-	out := make([]bool, len(res))
-	for i, b := range res {
-		out[i] = b == 1
+	if err := writeTables(w, garbled.Tables); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return finishGarbler(conn, w, c, garbled)
 }
 
 // RunEvaluator executes the evaluator role and returns the plaintext
@@ -248,20 +318,16 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 		copy(inputs[c.GarblerInputs:], got)
 	}
 
-	se, err := gc.NewStreamEvaluator(c, opts.Hasher, inputs)
-	if err != nil {
-		return nil, err
+	var outLabels []label.L
+	var err error
+	switch {
+	case opts.Pipelined:
+		outLabels, err = evalPipelined(rd, c, inputs, int(h.NTables), opts)
+	case opts.Workers > 1:
+		outLabels, err = evalOffline(rd, c, inputs, int(h.NTables), opts)
+	default:
+		outLabels, err = evalSequential(rd, c, inputs, opts)
 	}
-	tbuf := make([]byte, gc.MaterialSize)
-	for se.NeedTable() {
-		if _, err := io.ReadFull(rd, tbuf); err != nil {
-			return nil, fmt.Errorf("proto: reading tables: %w", err)
-		}
-		if err := se.Feed(gc.MaterialFromBytes(tbuf)); err != nil {
-			return nil, err
-		}
-	}
-	outLabels, err := se.Outputs()
 	if err != nil {
 		return nil, err
 	}

@@ -13,8 +13,11 @@ import (
 type Stats struct {
 	BytesSent     atomic.Int64
 	BytesReceived atomic.Int64
-	start         time.Time
-	duration      atomic.Int64 // nanoseconds
+	// start holds the earliest begin() as UnixNano; one Stats may be
+	// shared by both roles of an in-process run, so begin/end race-free
+	// via atomics: the first begin and the last end win.
+	start    atomic.Int64
+	duration atomic.Int64 // nanoseconds
 }
 
 // Duration returns the elapsed wall time of the run.
@@ -31,13 +34,13 @@ func (s *Stats) Throughput() float64 {
 
 func (s *Stats) begin() {
 	if s != nil {
-		s.start = time.Now()
+		s.start.CompareAndSwap(0, time.Now().UnixNano())
 	}
 }
 
 func (s *Stats) end() {
 	if s != nil {
-		s.duration.Store(int64(time.Since(s.start)))
+		s.duration.Store(time.Now().UnixNano() - s.start.Load())
 	}
 }
 
