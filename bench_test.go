@@ -10,12 +10,15 @@ package haac
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"testing"
 
 	"haac/internal/bench"
 	"haac/internal/gc"
 	"haac/internal/label"
+	"haac/internal/ot"
+	"haac/internal/proto"
 	"haac/internal/workloads"
 )
 
@@ -321,4 +324,113 @@ func BenchmarkParallelGarblingTable(b *testing.B) {
 
 func benchName(prefix string, workers int) string {
 	return fmt.Sprintf("%s-x%d", prefix, workers)
+}
+
+// BenchmarkOTExtension: one op is a full IKNP extension of m transfers,
+// 128 DH base OTs included, both parties over an in-memory pipe. B/op
+// and allocs/op come from ReportAllocs: allocations are O(1) per 16384-
+// transfer chunk, so allocs/op stays flat while m (and OT/s) grows.
+func BenchmarkOTExtension(b *testing.B) {
+	for _, m := range []int{1024, 16384, 65536} {
+		m := m
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			src := label.NewSource(uint64(m))
+			pairs := make([]ot.Pair, m)
+			choices := ot.NewBitset(m)
+			for i := range pairs {
+				pairs[i] = ot.Pair{M0: src.Next(), M1: src.Next()}
+				choices.Set(i, i%3 == 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ga, ev := net.Pipe()
+				errc := make(chan error, 1)
+				go func() { errc <- ot.Send(ga, ot.IKNP, pairs) }()
+				if _, err := ot.ReceiveBitset(ev, ot.IKNP, choices); err != nil {
+					b.Fatal(err)
+				}
+				if err := <-errc; err != nil {
+					b.Fatal(err)
+				}
+				ga.Close()
+				ev.Close()
+			}
+			b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "OT/s")
+		})
+	}
+}
+
+// Benchmark2PCTransport isolates the slab transport: full two-party runs
+// under the allocation-free fixed-key hasher and free OT, so allocs/op
+// tracks the table/label stream rather than hashing or key exchange.
+func Benchmark2PCTransport(b *testing.B) {
+	w := workloads.DotProduct(8, 16)
+	c := w.Build()
+	and, _, _ := c.CountOps()
+	g, e := w.Inputs(5)
+	h := gc.NewFixedKeyHasher([16]byte{42})
+	modes := []struct {
+		name string
+		opts proto.Options
+	}{
+		{"sequential", proto.Options{OT: ot.Insecure, Seed: 7, Hasher: h}},
+		{"pipelined-x4", proto.Options{OT: ot.Insecure, Seed: 7, Hasher: h, Pipelined: true, Workers: 4}},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ga, ev := net.Pipe()
+				errc := make(chan error, 1)
+				go func() {
+					_, err := proto.RunGarbler(ga, c, g, m.opts)
+					errc <- err
+				}()
+				if _, err := proto.RunEvaluator(ev, c, e, m.opts); err != nil {
+					b.Fatal(err)
+				}
+				if err := <-errc; err != nil {
+					b.Fatal(err)
+				}
+				ga.Close()
+				ev.Close()
+			}
+			b.ReportMetric(float64(and)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mtables/s")
+		})
+	}
+}
+
+// BenchmarkOTExtensionTable regenerates the OT-extension experiment
+// (cmd/haacbench experiment "ot").
+func BenchmarkOTExtensionTable(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.OTExtension()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.AllocsPerOT, "allocs/OT-largest")
+		}
+	}
+}
+
+// BenchmarkTransportTable regenerates the 2PC transport experiment
+// (cmd/haacbench experiment "transport").
+func BenchmarkTransportTable(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.Transport()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			b.ReportMetric(rows[0].AllocsPerTable, "allocs/table-seq")
+		}
+	}
 }

@@ -8,7 +8,8 @@
 //	haacbench [-scale paper|small] [-experiments table2,fig6,...]
 //
 // Experiments: table1 table2 table3 table4 table5 fig6 fig7 fig8 fig9
-// fig10 garbler rekey parallel (or "all").
+// fig10 garbler rekey parallel ot transport ablation multicore segsweep
+// coupling (or "all").
 package main
 
 import (
@@ -33,7 +34,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("haacbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scaleFlag := fs.String("scale", "paper", "workload scale: paper or small")
-	expFlag := fs.String("experiments", "all", "comma-separated experiment list (table1..table5, fig6..fig10, garbler, rekey, parallel, all)")
+	expFlag := fs.String("experiments", "all", "comma-separated experiment list (table1..table5, fig6..fig10, garbler, rekey, parallel, ot, transport, ablation, multicore, segsweep, coupling, all)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -120,6 +121,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	})
 	run("parallel", "parallel level-scheduled garbling and pipelined 2PC", func() (string, error) {
 		_, s, err := env.ParallelGarbling()
+		return s, err
+	})
+	run("ot", "IKNP OT extension: batched input phase vs DH baseline", func() (string, error) {
+		_, s, err := env.OTExtension()
+		return s, err
+	})
+	run("transport", "slab-encoded 2PC transport: bytes, allocations, throughput", func() (string, error) {
+		_, s, err := env.Transport()
 		return s, err
 	})
 	run("ablation", "design-choice ablations (forwarding, push OoR, SWW, banking)", func() (string, error) {

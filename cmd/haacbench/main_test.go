@@ -23,6 +23,20 @@ func TestBenchSelectedExperiments(t *testing.T) {
 	}
 }
 
+func TestBenchOTAndTransportExperiments(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := realMain([]string{"-scale", "small", "-experiments", "ot,transport"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"## ot", "allocs/OT", "## transport", "allocs/table"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestBenchBadArgs(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := realMain([]string{"-scale", "galactic"}, &out, &errw); code != 2 {

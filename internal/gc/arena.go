@@ -1,0 +1,42 @@
+package gc
+
+// MaterialArena hands out Material slices carved from one backing slab.
+// The level engines produce one table slice per dependence level; giving
+// each level its own make() would put a GC allocation on the steady-state
+// garbling path and scatter the stream across the heap. The arena keeps
+// the whole gate-order stream contiguous — consecutive Alloc calls
+// return adjacent views, so concatenating per-level slices is free — and
+// Reset recycles the slab for engines that run many circuits.
+type MaterialArena struct {
+	slab []Material
+	off  int
+}
+
+// NewMaterialArena returns an arena with room for n tables.
+func NewMaterialArena(n int) *MaterialArena {
+	return &MaterialArena{slab: make([]Material, n)}
+}
+
+// Alloc returns the next n-table view of the slab. Views from successive
+// calls are adjacent and never overlap. If the slab is exhausted the
+// arena grows (one allocation, not one per call).
+func (a *MaterialArena) Alloc(n int) []Material {
+	if a.off+n > len(a.slab) {
+		grown := make([]Material, a.off+n)
+		copy(grown, a.slab)
+		a.slab = grown
+	}
+	v := a.slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	return v
+}
+
+// Contiguous returns the single slice covering every Alloc so far, in
+// allocation order — the full gate-order stream when one arena backs a
+// whole circuit.
+func (a *MaterialArena) Contiguous() []Material {
+	return a.slab[:a.off]
+}
+
+// Reset recycles the slab: subsequent Allocs reuse the same memory.
+func (a *MaterialArena) Reset() { a.off = 0 }

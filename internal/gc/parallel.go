@@ -148,6 +148,8 @@ func (lg *LevelGarbler) Run(emit func(tables []Material) error) (*Garbled, error
 	c, h, r, wires := lg.c, lg.h, lg.r, lg.wires
 
 	sched := c.LevelSchedule()
+	// One slab backs the whole gate-order stream; per-level emits below
+	// are adjacent views of it, so no level allocates.
 	tables := make([]Material, sched.NumAND)
 
 	garbleSpan := func(gates []int32) {

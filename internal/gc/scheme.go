@@ -15,6 +15,7 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"haac/internal/label"
 )
@@ -43,6 +44,33 @@ func MaterialFromBytes(b []byte) Material {
 		TG: label.FromBytes(b[0:16]),
 		TE: label.FromBytes(b[16:32]),
 	}
+}
+
+// EncodeMaterials serializes src into dst at MaterialSize stride and
+// returns the number of bytes written — the bulk form of Bytes used by
+// the batched transport, which slab-encodes a whole level per Write
+// instead of copying each table through a stack array. dst must hold at
+// least MaterialSize*len(src) bytes.
+func EncodeMaterials(dst []byte, src []Material) int {
+	_ = dst[:MaterialSize*len(src)]
+	for i, m := range src {
+		m.TG.Put(dst[i*MaterialSize:])
+		m.TE.Put(dst[i*MaterialSize+label.Size:])
+	}
+	return MaterialSize * len(src)
+}
+
+// DecodeMaterials deserializes len(dst) tables from src at MaterialSize
+// stride and returns the number of bytes consumed.
+func DecodeMaterials(dst []Material, src []byte) int {
+	_ = src[:MaterialSize*len(dst)]
+	for i := range dst {
+		dst[i] = Material{
+			TG: label.FromBytes(src[i*MaterialSize:]),
+			TE: label.FromBytes(src[i*MaterialSize+label.Size:]),
+		}
+	}
+	return MaterialSize * len(dst)
 }
 
 // Hasher computes the gate-tweakable hash H(L, tweak) used to encrypt
@@ -103,6 +131,18 @@ func (RekeyedHasher) Name() string { return "rekeyed" }
 // comparison.
 type FixedKeyHasher struct {
 	blk cipher.Block
+	// scratch pools the AES in/out blocks. Stack arrays would escape
+	// through the interface-typed Encrypt call (two heap allocations per
+	// Hash4, measured), and struct fields would break pool-wide sharing;
+	// pooled buffers keep the hasher concurrency-safe with zero
+	// steady-state allocations.
+	scratch sync.Pool
+}
+
+// fkScratch is one worker's hash scratch: four input and four output
+// AES blocks.
+type fkScratch struct {
+	in, out [4 * label.Size]byte
 }
 
 // NewFixedKeyHasher builds a FixedKeyHasher with the given global key.
@@ -113,7 +153,9 @@ func NewFixedKeyHasher(key [16]byte) *FixedKeyHasher {
 	if err != nil {
 		panic("gc: aes.NewCipher: " + err.Error())
 	}
-	return &FixedKeyHasher{blk: blk}
+	h := &FixedKeyHasher{blk: blk}
+	h.scratch.New = func() any { return new(fkScratch) }
+	return h
 }
 
 // double computes the 2L xor t input block of the fixed-key hash.
@@ -124,31 +166,36 @@ func double(l label.L, tweak uint64) label.L {
 // Hash implements Hasher.
 func (h *FixedKeyHasher) Hash(l label.L, tweak uint64) label.L {
 	d := double(l, tweak)
-	in := d.Bytes()
-	var out [16]byte
-	h.blk.Encrypt(out[:], in[:])
-	return label.FromBytes(out[:]).Xor(d)
+	s := h.scratch.Get().(*fkScratch)
+	d.Put(s.in[0:16])
+	h.blk.Encrypt(s.out[0:16], s.in[0:16])
+	out := label.FromBytes(s.out[0:16]).Xor(d)
+	h.scratch.Put(s)
+	return out
 }
 
 // Hash4 implements Hasher4: the four blocks of one AND gate are staged
-// through the single expanded cipher using stack scratch buffers, so a
-// garbling worker pays no allocation and no interface dispatch per hash.
+// through the single expanded cipher using pooled scratch buffers, so a
+// garbling worker pays no steady-state allocation and no per-hash
+// interface dispatch.
 func (h *FixedKeyHasher) Hash4(l0, l1, l2, l3 label.L, t0, t1, t2, t3 uint64) (h0, h1, h2, h3 label.L) {
 	d0, d1, d2, d3 := double(l0, t0), double(l1, t1), double(l2, t2), double(l3, t3)
-	var in, out [4 * label.Size]byte
-	d0.Put(in[0:16])
-	d1.Put(in[16:32])
-	d2.Put(in[32:48])
-	d3.Put(in[48:64])
+	s := h.scratch.Get().(*fkScratch)
+	d0.Put(s.in[0:16])
+	d1.Put(s.in[16:32])
+	d2.Put(s.in[32:48])
+	d3.Put(s.in[48:64])
 	blk := h.blk
-	blk.Encrypt(out[0:16], in[0:16])
-	blk.Encrypt(out[16:32], in[16:32])
-	blk.Encrypt(out[32:48], in[32:48])
-	blk.Encrypt(out[48:64], in[48:64])
-	return label.FromBytes(out[0:16]).Xor(d0),
-		label.FromBytes(out[16:32]).Xor(d1),
-		label.FromBytes(out[32:48]).Xor(d2),
-		label.FromBytes(out[48:64]).Xor(d3)
+	blk.Encrypt(s.out[0:16], s.in[0:16])
+	blk.Encrypt(s.out[16:32], s.in[16:32])
+	blk.Encrypt(s.out[32:48], s.in[32:48])
+	blk.Encrypt(s.out[48:64], s.in[48:64])
+	h0 = label.FromBytes(s.out[0:16]).Xor(d0)
+	h1 = label.FromBytes(s.out[16:32]).Xor(d1)
+	h2 = label.FromBytes(s.out[32:48]).Xor(d2)
+	h3 = label.FromBytes(s.out[48:64]).Xor(d3)
+	h.scratch.Put(s)
+	return
 }
 
 // Name implements Hasher.

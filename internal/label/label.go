@@ -68,6 +68,43 @@ func FromBytes(b []byte) L {
 	}
 }
 
+// EncodeSlice serializes src into dst at 16-byte stride and returns the
+// number of bytes written. dst must hold at least Size*len(src) bytes.
+// This is the bulk form of Put used by the batched transport: one call
+// encodes a whole level's labels into a single wire slab.
+func EncodeSlice(dst []byte, src []L) int {
+	_ = dst[:Size*len(src)] // one bounds check for the whole batch
+	for i, l := range src {
+		binary.LittleEndian.PutUint64(dst[i*Size:], l.Lo)
+		binary.LittleEndian.PutUint64(dst[i*Size+8:], l.Hi)
+	}
+	return Size * len(src)
+}
+
+// DecodeSlice deserializes len(dst) labels from src at 16-byte stride and
+// returns the number of bytes consumed. src must hold at least
+// Size*len(dst) bytes.
+func DecodeSlice(dst []L, src []byte) int {
+	_ = src[:Size*len(dst)]
+	for i := range dst {
+		dst[i] = L{
+			Lo: binary.LittleEndian.Uint64(src[i*Size:]),
+			Hi: binary.LittleEndian.Uint64(src[i*Size+8:]),
+		}
+	}
+	return Size * len(dst)
+}
+
+// XorSliceInto sets dst[i] = a[i] ^ b[i] for every i. All three slices
+// must have the same length; dst may alias a or b.
+func XorSliceInto(dst, a, b []L) {
+	_ = a[:len(dst)]
+	_ = b[:len(dst)]
+	for i := range dst {
+		dst[i] = L{Lo: a[i].Lo ^ b[i].Lo, Hi: a[i].Hi ^ b[i].Hi}
+	}
+}
+
 // String renders the label as 32 hex digits (serialized byte order).
 func (a L) String() string {
 	b := a.Bytes()

@@ -104,6 +104,74 @@ func TestSourceNextDeltaColour(t *testing.T) {
 	}
 }
 
+func TestEncodeDecodeSliceRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 64, 1000} {
+		src := NewSource(uint64(n) + 1)
+		ls := make([]L, n)
+		for i := range ls {
+			ls[i] = src.Next()
+		}
+		buf := make([]byte, Size*n)
+		if got := EncodeSlice(buf, ls); got != Size*n {
+			t.Fatalf("n=%d: EncodeSlice wrote %d bytes, want %d", n, got, Size*n)
+		}
+		// Bulk encode must match per-label Put exactly.
+		for i, l := range ls {
+			var one [Size]byte
+			l.Put(one[:])
+			if string(buf[i*Size:(i+1)*Size]) != string(one[:]) {
+				t.Fatalf("n=%d: EncodeSlice differs from Put at label %d", n, i)
+			}
+		}
+		back := make([]L, n)
+		if got := DecodeSlice(back, buf); got != Size*n {
+			t.Fatalf("n=%d: DecodeSlice read %d bytes, want %d", n, got, Size*n)
+		}
+		for i := range ls {
+			if back[i] != ls[i] {
+				t.Fatalf("n=%d: round-trip mismatch at label %d", n, i)
+			}
+		}
+	}
+}
+
+func TestXorSliceInto(t *testing.T) {
+	src := NewSource(9)
+	const n = 129
+	a := make([]L, n)
+	b := make([]L, n)
+	for i := range a {
+		a[i], b[i] = src.Next(), src.Next()
+	}
+	dst := make([]L, n)
+	XorSliceInto(dst, a, b)
+	for i := range dst {
+		if dst[i] != a[i].Xor(b[i]) {
+			t.Fatalf("XorSliceInto mismatch at %d", i)
+		}
+	}
+	// Aliasing dst with a must behave like the scalar loop.
+	XorSliceInto(a, a, b)
+	for i := range a {
+		if a[i] != dst[i] {
+			t.Fatalf("aliased XorSliceInto mismatch at %d", i)
+		}
+	}
+}
+
+func TestBulkCodecNoAllocs(t *testing.T) {
+	const n = 512
+	ls := make([]L, n)
+	buf := make([]byte, Size*n)
+	if avg := testing.AllocsPerRun(100, func() {
+		EncodeSlice(buf, ls)
+		DecodeSlice(ls, buf)
+		XorSliceInto(ls, ls, ls)
+	}); avg != 0 {
+		t.Fatalf("bulk codec allocates %.1f times per run, want 0", avg)
+	}
+}
+
 func TestStringLength(t *testing.T) {
 	if got := len(Zero.String()); got != 32 {
 		t.Fatalf("hex string length = %d, want 32", got)

@@ -1,0 +1,63 @@
+package ot
+
+// Bitset is a packed choice vector: bit j of word j/64 is choice j.
+// IKNP consumes choices in 64-bit words (the transpose and the column
+// masks operate on whole words), so packing once at the boundary removes
+// the per-bit []bool shuffling the hot path used to pay. The bit order
+// matches the wire's column layout: little-endian bytes, LSB first —
+// bit j lives in byte j/8 at position j%8.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an all-zero bitset of n choices.
+func NewBitset(n int) Bitset {
+	return Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// BitsetFromBools packs a []bool choice vector.
+func BitsetFromBools(choices []bool) Bitset {
+	b := NewBitset(len(choices))
+	for j, c := range choices {
+		if c {
+			b.words[j>>6] |= 1 << (uint(j) & 63)
+		}
+	}
+	return b
+}
+
+// Len returns the number of choices.
+func (b Bitset) Len() int { return b.n }
+
+// Bit returns choice j as 0 or 1.
+func (b Bitset) Bit(j int) int {
+	return int(b.words[j>>6] >> (uint(j) & 63) & 1)
+}
+
+// Set sets choice j to v.
+func (b Bitset) Set(j int, v bool) {
+	if v {
+		b.words[j>>6] |= 1 << (uint(j) & 63)
+	} else {
+		b.words[j>>6] &^= 1 << (uint(j) & 63)
+	}
+}
+
+// Bools unpacks the bitset into a fresh []bool (used to bridge into the
+// base-OT protocols, which stay per-transfer anyway).
+func (b Bitset) Bools() []bool {
+	out := make([]bool, b.n)
+	for j := range out {
+		out[j] = b.Bit(j) == 1
+	}
+	return out
+}
+
+// word returns the w-th 64-choice word (zero beyond Len).
+func (b Bitset) word(w int) uint64 {
+	if w < len(b.words) {
+		return b.words[w]
+	}
+	return 0
+}

@@ -71,6 +71,22 @@ func Receive(conn io.ReadWriter, proto Protocol, choices []bool) ([]label.L, err
 	case Insecure:
 		return insecureReceive(conn, choices)
 	case IKNP:
+		return iknpReceive(conn, DH, BitsetFromBools(choices))
+	}
+	return nil, fmt.Errorf("ot: unknown protocol %d", proto)
+}
+
+// ReceiveBitset is Receive with a packed choice vector. IKNP consumes
+// the bitset directly (its hot path works on 64-choice words); the
+// per-transfer base protocols unpack it at the boundary. Results are
+// identical to Receive on the unpacked bools.
+func ReceiveBitset(conn io.ReadWriter, proto Protocol, choices Bitset) ([]label.L, error) {
+	switch proto {
+	case DH:
+		return dhReceive(conn, choices.Bools())
+	case Insecure:
+		return insecureReceive(conn, choices.Bools())
+	case IKNP:
 		return iknpReceive(conn, DH, choices)
 	}
 	return nil, fmt.Errorf("ot: unknown protocol %d", proto)

@@ -150,18 +150,21 @@ func TestIKNPEmptyBatch(t *testing.T) {
 }
 
 func TestPRGDeterministicAndSeedSeparated(t *testing.T) {
-	s1 := label.L{Lo: 1, Hi: 2}
-	s2 := label.L{Lo: 1, Hi: 3}
-	a := prgExpand(s1, 100)
-	b := prgExpand(s1, 100)
-	c := prgExpand(s2, 100)
+	expand := func(seed label.L, words int) []uint64 {
+		var p prgStream
+		p.init(seed)
+		out := make([]uint64, words)
+		p.expand(out)
+		return out
+	}
+	a := expand(label.L{Lo: 1, Hi: 2}, 13)
+	b := expand(label.L{Lo: 1, Hi: 2}, 13)
+	c := expand(label.L{Lo: 1, Hi: 3}, 13)
+	same := true
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("PRG not deterministic")
 		}
-	}
-	same := true
-	for i := range a {
 		if a[i] != c[i] {
 			same = false
 		}
@@ -171,10 +174,46 @@ func TestPRGDeterministicAndSeedSeparated(t *testing.T) {
 	}
 }
 
+func TestPRGStreamContinues(t *testing.T) {
+	// Two expand calls must continue one stream: chunked extension
+	// relies on per-column counter state persisting across chunks.
+	var whole, split prgStream
+	whole.init(label.L{Lo: 5, Hi: 6})
+	split.init(label.L{Lo: 5, Hi: 6})
+	w := make([]uint64, 32)
+	whole.expand(w)
+	s := make([]uint64, 32)
+	split.expand(s[:20]) // chunk expansions are block-aligned (even words)
+	split.expand(s[20:])
+	for i := range w {
+		if w[i] != s[i] {
+			t.Fatalf("split PRG stream diverges at word %d", i)
+		}
+	}
+}
+
 func TestRowHashBindsIndex(t *testing.T) {
 	var r row
 	r[0] = 42
 	if rowHash(1, r) == rowHash(2, r) {
 		t.Fatal("row hash ignores transfer index")
+	}
+	var r2 row
+	r2[0] = 43
+	if rowHash(1, r) == rowHash(1, r2) {
+		t.Fatal("row hash ignores row")
+	}
+}
+
+func TestCRHash4MatchesScalar(t *testing.T) {
+	rows := []row{{1, 2}, {3, 4}, {0xffffffffffffffff, 0}, {7, 0x8000000000000000}}
+	l0, l1, l2, l3 := crHasher.Hash4(
+		rowLabel(rows[0]), rowLabel(rows[1]), rowLabel(rows[2]), rowLabel(rows[3]),
+		10, 11, 12, 13)
+	got := []label.L{l0, l1, l2, l3}
+	for i, r := range rows {
+		if want := rowHash(uint64(10+i), r); got[i] != want {
+			t.Fatalf("Hash4 lane %d differs from scalar row hash", i)
+		}
 	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ot
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ot
+
+// raceEnabled: the race detector instruments the runtime and inflates
+// allocation counts, so AllocsPerRun regression tests skip under it.
+const raceEnabled = true

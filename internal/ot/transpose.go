@@ -1,0 +1,52 @@
+package ot
+
+// Bit-matrix transpose for the IKNP extension. The PRG naturally
+// produces the OT matrix column-major (one 128-bit column per base OT,
+// m rows long) while hashing consumes it row-major (one kappa-bit row
+// per transfer). The old code flipped orientation one bit at a time —
+// O(kappa·m) shift/test/set sequences dominating the whole extension.
+// Here the flip is a cache-blocked sequence of 64×64 word transposes:
+// each block is 64 uint64 loads, ~6·64 word ops (Hacker's Delight 7-3),
+// and 64 stores, and both the column reads and the row writes walk
+// memory sequentially.
+
+// transpose64 transposes a 64×64 bit matrix in place: bit c of word r
+// moves to bit r of word c.
+func transpose64(a *[64]uint64) {
+	// Swap progressively smaller off-diagonal sub-blocks: 32×32 halves,
+	// then 16×16, ... down to single bits. This is the LSB-first mirror
+	// of the classic routine: the high-column half of rows k..k+j-1
+	// trades places with the low-column half of rows k+j..k+2j-1.
+	j := uint(32)
+	m := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := uint(0); k < 64; k = (k + j + 1) &^ j {
+			t := (a[k]>>j ^ a[k+j]) & m
+			a[k] ^= t << j
+			a[k+j] ^= t
+		}
+		j >>= 1
+		m ^= m << j
+	}
+}
+
+// transposeColumns converts the column-major chunk into rows.
+// cols holds kappa columns, each colWords uint64 long (column i starts
+// at cols[i*colWords]); word w of column i carries transfers 64w..64w+63.
+// On return rows[j] is the kappa-bit row of transfer j for j < 64*colWords.
+func transposeColumns(rows []row, cols []uint64, colWords int) {
+	var blk [64]uint64
+	for w := 0; w < rowWords; w++ { // 64-column band of the output row
+		for cw := 0; cw < colWords; cw++ { // 64-transfer band
+			base := w * 64 * colWords
+			for i := 0; i < 64; i++ {
+				blk[i] = cols[base+i*colWords+cw]
+			}
+			transpose64(&blk)
+			jBase := cw * 64
+			for j := 0; j < 64; j++ {
+				rows[jBase+j][w] = blk[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"haac/internal/gc"
+	"haac/internal/label"
+	"haac/internal/workloads"
+)
+
+// Allocation-regression suite for the steady-state hot loops. These pin
+// the PR's zero-allocation transport property with testing.AllocsPerRun
+// instead of wall-clock assertions (single-CPU CI makes timing
+// meaningless, allocation counts are exact). Under the race detector
+// sync.Pool stops caching, so the counts are only asserted without it.
+
+// skipUnderRace skips allocation-count assertions when the race
+// detector inflates them.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+}
+
+// TestWriteTablesNoSteadyStateAllocs: slab-encoded table streaming must
+// not allocate per table — and the count must not grow with the batch.
+func TestWriteTablesNoSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	w := bufio.NewWriterSize(io.Discard, 1<<16)
+	measure := func(n int) float64 {
+		tables := make([]gc.Material, n)
+		// Warm the pool so the first Get is not counted.
+		if err := writeTables(w, tables[:1]); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(50, func() {
+			if err := writeTables(w, tables); err != nil {
+				t.Fatal(err)
+			}
+			w.Flush()
+		})
+	}
+	small := measure(1000)
+	large := measure(4000)
+	if small > 0.5 || large > 0.5 {
+		t.Fatalf("writeTables allocates in steady state: %.1f (1000 tables), %.1f (4000 tables)", small, large)
+	}
+}
+
+// TestSendActiveInputsNoSteadyStateAllocs: the input-label block is one
+// pooled slab regardless of input width.
+func TestSendActiveInputsNoSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	w := bufio.NewWriterSize(io.Discard, 1<<20)
+	c := workloads.AddN(64).Build()
+	zeros := make([]label.L, c.NumInputs())
+	bits := make([]bool, c.GarblerInputs)
+	r := label.L{Lo: 1}
+	if err := sendActiveInputs(w, c, zeros, r, bits); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := sendActiveInputs(w, c, zeros, r, bits); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+	}); avg > 0.5 {
+		t.Fatalf("sendActiveInputs allocates %.1f times in steady state", avg)
+	}
+}
+
+// TestGarbleEvalSteadyStateAllocs: with the batched fixed-key hasher the
+// whole garble and eval tight loops allocate O(1) per circuit — a
+// per-gate allocation on a ~1k-AND circuit would add thousands.
+func TestGarbleEvalSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	w := workloads.DotProduct(4, 16)
+	c := w.Build()
+	and, _, _ := c.CountOps()
+	if and < 500 {
+		t.Fatalf("workload too small to detect per-gate allocations (%d ANDs)", and)
+	}
+	h := gc.NewFixedKeyHasher([16]byte{3})
+
+	garbled, err := gc.Garble(c, h, label.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, e := w.Inputs(5)
+	inputs, err := garbled.EncodeInputs(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Garble loop: construction allocates (wire arrays), Next must not.
+	garbleAllocs := testing.AllocsPerRun(10, func() {
+		sg, err := gc.NewStreamGarbler(c, h, label.NewSource(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, ok := sg.Next(); !ok {
+				break
+			}
+		}
+	})
+	if garbleAllocs > 50 {
+		t.Fatalf("garble loop allocates %.0f times for %d ANDs (want O(1) per circuit)", garbleAllocs, and)
+	}
+
+	evalAllocs := testing.AllocsPerRun(10, func() {
+		se, err := gc.NewStreamEvaluator(c, h, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for se.NeedTable() {
+			if err := se.Feed(garbled.Tables[i]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+		if _, err := se.Outputs(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if evalAllocs > 50 {
+		t.Fatalf("eval loop allocates %.0f times for %d ANDs (want O(1) per circuit)", evalAllocs, and)
+	}
+}
+
+// TestEvalSequentialTableReadAllocs: the evaluator's batched table
+// reader allocates O(1) per stream, independent of table count.
+func TestEvalSequentialTableReadAllocs(t *testing.T) {
+	skipUnderRace(t)
+	w := workloads.DotProduct(4, 16)
+	c := w.Build()
+	h := gc.NewFixedKeyHasher([16]byte{3})
+	garbled, err := gc.Garble(c, h, label.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, e := w.Inputs(5)
+	inputs, err := garbled.EncodeInputs(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := make([]byte, gc.MaterialSize*len(garbled.Tables))
+	gc.EncodeMaterials(stream, garbled.Tables)
+	opts := Options{Hasher: h}
+
+	// Warm pools.
+	if _, err := evalSequential(bufio.NewReader(bytes.NewReader(stream)), c, inputs, opts); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := evalSequential(bufio.NewReader(bytes.NewReader(stream)), c, inputs, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	and, _, _ := c.CountOps()
+	if avg > 60 {
+		t.Fatalf("sequential eval allocates %.0f times for %d tables (want O(1) per stream)", avg, and)
+	}
+}

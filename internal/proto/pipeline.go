@@ -80,34 +80,59 @@ func garblerPipelined(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, g
 	return finishGarbler(conn, w, c, res.garbled)
 }
 
-// evalSequential is the classic gate-by-gate streaming evaluator.
+// evalSequential is the classic streaming evaluator. Tables are pulled
+// off the wire a slab at a time — the garbler commits to the whole
+// stream before it needs any response, so bulk reads cannot deadlock —
+// and decoded in batches through pooled scratch.
 func evalSequential(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, opts Options) ([]label.L, error) {
 	se, err := gc.NewStreamEvaluator(c, opts.Hasher, inputs)
 	if err != nil {
 		return nil, err
 	}
-	tbuf := make([]byte, gc.MaterialSize)
-	for se.NeedTable() {
-		if _, err := io.ReadFull(rd, tbuf); err != nil {
+	and, _, _ := c.CountOps()
+	bp := getSlab(slabBytes)
+	defer putSlab(bp)
+	mp := getMaterials()
+	defer putMaterials(mp)
+	slab, ms := *bp, *mp
+	for consumed := 0; consumed < and; {
+		n := and - consumed
+		if n > slabTables {
+			n = slabTables
+		}
+		if _, err := io.ReadFull(rd, slab[:n*gc.MaterialSize]); err != nil {
 			return nil, fmt.Errorf("proto: reading tables: %w", err)
 		}
-		if err := se.Feed(gc.MaterialFromBytes(tbuf)); err != nil {
-			return nil, err
+		gc.DecodeMaterials(ms[:n], slab)
+		for i := 0; i < n; i++ {
+			if err := se.Feed(ms[i]); err != nil {
+				return nil, err
+			}
 		}
+		consumed += n
 	}
 	return se.Outputs()
 }
 
-// evalOffline reads the whole table stream into memory, then evaluates
-// it with the parallel engine.
+// evalOffline reads the whole table stream into memory slab by slab,
+// then evaluates it with the parallel engine. The table buffer comes
+// from the arena pool: repeated runs reuse it instead of allocating.
 func evalOffline(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTables int, opts Options) ([]label.L, error) {
-	tables := make([]gc.Material, nTables)
-	tbuf := make([]byte, gc.MaterialSize)
-	for i := 0; i < nTables; i++ {
-		if _, err := io.ReadFull(rd, tbuf); err != nil {
+	arena, tables := getArena(nTables)
+	// ParallelEval does not retain the tables once it returns.
+	defer putArena(arena)
+	bp := getSlab(slabBytes)
+	defer putSlab(bp)
+	slab := *bp
+	for off := 0; off < nTables; off += slabTables {
+		n := nTables - off
+		if n > slabTables {
+			n = slabTables
+		}
+		if _, err := io.ReadFull(rd, slab[:n*gc.MaterialSize]); err != nil {
 			return nil, fmt.Errorf("proto: reading tables: %w", err)
 		}
-		tables[i] = gc.MaterialFromBytes(tbuf)
+		gc.DecodeMaterials(tables[off:off+n], slab)
 	}
 	return gc.ParallelEval(c, opts.Hasher, inputs, tables, opts.Workers)
 }
@@ -119,22 +144,47 @@ func evalOffline(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTables
 func evalPipelined(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTables int, opts Options) ([]label.L, error) {
 	var mu sync.Mutex
 	cond := sync.NewCond(&mu)
-	tables := make([]gc.Material, 0, nTables)
+	// The stream's backing store is a pooled arena slab; every return
+	// path joins the reader goroutine first, so releasing it on exit is
+	// safe.
+	arena, backing := getArena(nTables)
+	defer putArena(arena)
+	tables := backing[:0]
 	var readErr error
 
 	go func() {
-		tbuf := make([]byte, gc.MaterialSize)
-		for i := 0; i < nTables; i++ {
-			if _, err := io.ReadFull(rd, tbuf); err != nil {
+		// Adaptive batching: block for one table so pipeline latency is
+		// preserved, then drain whatever else has already landed in the
+		// read buffer in the same slab — bursts (a whole flushed level)
+		// decode in bulk, trickles pass through table by table. Decoding
+		// targets the not-yet-published tail of the backing array, so it
+		// runs outside the lock.
+		full := backing
+		bp := getSlab(slabBytes)
+		defer putSlab(bp)
+		slab := *bp
+		for got := 0; got < nTables; {
+			n := 1
+			if avail := rd.Buffered() / gc.MaterialSize; avail > n {
+				n = avail
+			}
+			if rem := nTables - got; n > rem {
+				n = rem
+			}
+			if n > slabTables {
+				n = slabTables
+			}
+			if _, err := io.ReadFull(rd, slab[:n*gc.MaterialSize]); err != nil {
 				mu.Lock()
 				readErr = fmt.Errorf("proto: reading tables: %w", err)
 				cond.Broadcast()
 				mu.Unlock()
 				return
 			}
-			m := gc.MaterialFromBytes(tbuf)
+			gc.DecodeMaterials(full[got:got+n], slab)
+			got += n
 			mu.Lock()
-			tables = append(tables, m)
+			tables = full[:got]
 			cond.Broadcast()
 			mu.Unlock()
 		}

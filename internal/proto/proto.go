@@ -107,30 +107,32 @@ func headerFor(c *circuit.Circuit, opts Options) header {
 }
 
 // sendActiveInputs writes the garbler's active labels and, if present,
-// the constant labels in wire order.
+// the constant labels in wire order: every label is encoded into one
+// pooled slab and shipped with a single Write.
 func sendActiveInputs(w *bufio.Writer, c *circuit.Circuit, zeros []label.L, r label.L, garblerBits []bool) error {
-	buf := make([]byte, label.Size)
-	writeLabel := func(l label.L) error {
-		l.Put(buf)
-		_, err := w.Write(buf)
-		return err
+	n := len(garblerBits)
+	if c.HasConst {
+		n += 2
 	}
+	if n == 0 {
+		return nil
+	}
+	bp := getSlab(n * label.Size)
+	defer putSlab(bp)
+	slab := (*bp)[:n*label.Size]
 	for i, v := range garblerBits {
 		l := zeros[i]
 		if v {
 			l = l.Xor(r)
 		}
-		if err := writeLabel(l); err != nil {
-			return fmt.Errorf("proto: sending garbler labels: %w", err)
-		}
+		l.Put(slab[i*label.Size:])
 	}
 	if c.HasConst {
-		if err := writeLabel(zeros[c.Const0]); err != nil {
-			return err
-		}
-		if err := writeLabel(zeros[c.Const1].Xor(r)); err != nil {
-			return err
-		}
+		zeros[c.Const0].Put(slab[len(garblerBits)*label.Size:])
+		zeros[c.Const1].Xor(r).Put(slab[(len(garblerBits)+1)*label.Size:])
+	}
+	if _, err := w.Write(slab); err != nil {
+		return fmt.Errorf("proto: sending garbler labels: %w", err)
 	}
 	return nil
 }
@@ -152,11 +154,19 @@ func sendEvalLabels(conn io.ReadWriter, c *circuit.Circuit, zeros []label.L, r l
 	return nil
 }
 
-// writeTables streams a chunk of the gate-order table stream.
+// writeTables streams a chunk of the gate-order table stream,
+// slab-encoding up to slabTables tables per Write.
 func writeTables(w *bufio.Writer, tables []gc.Material) error {
-	for _, m := range tables {
-		mb := m.Bytes()
-		if _, err := w.Write(mb[:]); err != nil {
+	bp := getSlab(slabBytes)
+	defer putSlab(bp)
+	slab := *bp
+	for off := 0; off < len(tables); off += slabTables {
+		end := off + slabTables
+		if end > len(tables) {
+			end = len(tables)
+		}
+		n := gc.EncodeMaterials(slab, tables[off:end])
+		if _, err := w.Write(slab[:n]); err != nil {
 			return fmt.Errorf("proto: streaming tables: %w", err)
 		}
 	}
@@ -230,17 +240,34 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 		return nil, err
 	}
 
-	// Stream tables gate by gate.
+	// Stream tables gate by gate, batching slabTables of them into one
+	// pooled slab per Write so the steady-state loop never allocates.
+	bp := getSlab(slabBytes)
+	slab := *bp
+	fill := 0
 	for {
 		m, ok := sg.Next()
 		if !ok {
 			break
 		}
-		mb := m.Bytes()
-		if _, err := w.Write(mb[:]); err != nil {
+		m.TG.Put(slab[fill:])
+		m.TE.Put(slab[fill+label.Size:])
+		fill += gc.MaterialSize
+		if fill+gc.MaterialSize > slabBytes {
+			if _, err := w.Write(slab[:fill]); err != nil {
+				putSlab(bp)
+				return nil, fmt.Errorf("proto: streaming tables: %w", err)
+			}
+			fill = 0
+		}
+	}
+	if fill > 0 {
+		if _, err := w.Write(slab[:fill]); err != nil {
+			putSlab(bp)
 			return nil, fmt.Errorf("proto: streaming tables: %w", err)
 		}
 	}
+	putSlab(bp)
 	return finishGarbler(conn, w, c, sg.Finish())
 }
 
@@ -291,27 +318,33 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 		return nil, fmt.Errorf("proto: circuit mismatch: got %+v, want %+v", h, want)
 	}
 
+	// All fixed-position labels (garbler inputs, then the two constants)
+	// arrive in one slab read and decode in bulk.
 	inputs := make([]label.L, c.NumInputs())
-	buf := make([]byte, label.Size)
-	for i := 0; i < c.GarblerInputs; i++ {
-		if _, err := io.ReadFull(rd, buf); err != nil {
+	nFixed := c.GarblerInputs
+	if c.HasConst {
+		nFixed += 2
+	}
+	if nFixed > 0 {
+		bp := getSlab(nFixed * label.Size)
+		slab := (*bp)[:nFixed*label.Size]
+		if _, err := io.ReadFull(rd, slab); err != nil {
+			putSlab(bp)
 			return nil, fmt.Errorf("proto: reading garbler labels: %w", err)
 		}
-		inputs[i] = label.FromBytes(buf)
-	}
-	if c.HasConst {
-		for _, wireIdx := range []circuit.Wire{c.Const0, c.Const1} {
-			if _, err := io.ReadFull(rd, buf); err != nil {
-				return nil, fmt.Errorf("proto: reading const labels: %w", err)
-			}
-			inputs[wireIdx] = label.FromBytes(buf)
+		label.DecodeSlice(inputs[:c.GarblerInputs], slab)
+		if c.HasConst {
+			inputs[c.Const0] = label.FromBytes(slab[c.GarblerInputs*label.Size:])
+			inputs[c.Const1] = label.FromBytes(slab[(c.GarblerInputs+1)*label.Size:])
 		}
+		putSlab(bp)
 	}
 
 	if c.EvaluatorInputs > 0 {
 		// OT happens on the raw conn; everything buffered so far has
-		// been consumed (header + labels are fixed-size).
-		got, err := ot.Receive(readWriter{rd, conn}, ot.Protocol(h.OTProto), evalBits)
+		// been consumed (header + labels are fixed-size). Choices travel
+		// packed: IKNP consumes the bitset words directly.
+		got, err := ot.ReceiveBitset(readWriter{rd, conn}, ot.Protocol(h.OTProto), ot.BitsetFromBools(evalBits))
 		if err != nil {
 			return nil, fmt.Errorf("proto: OT: %w", err)
 		}

@@ -64,8 +64,16 @@ func (c countingConn) Write(p []byte) (int, error) {
 
 // instrument wraps conn when opts carries a Stats collector.
 func instrument(conn io.ReadWriter, opts *Options) io.ReadWriter {
-	if opts.Stats == nil {
+	return Instrument(conn, opts.Stats)
+}
+
+// Instrument wraps a transport so every byte through it is attributed to
+// stats (nil stats returns conn unwrapped) — the same counting wrapper
+// the protocol roles use internally, exported for benchmarks that drive
+// sub-protocols (like the OT extension) directly.
+func Instrument(conn io.ReadWriter, stats *Stats) io.ReadWriter {
+	if stats == nil {
 		return conn
 	}
-	return countingConn{inner: conn, stats: opts.Stats}
+	return countingConn{inner: conn, stats: stats}
 }
