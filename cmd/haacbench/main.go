@@ -9,7 +9,9 @@
 //
 // Experiments: table1 table2 table3 table4 table5 fig6 fig7 fig8 fig9
 // fig10 garbler rekey parallel ot transport ablation multicore segsweep
-// coupling (or "all").
+// coupling (or "all"). The list is defined once in experiments();
+// main_test.go checks this comment and the flag help against it, so
+// the three cannot drift apart.
 package main
 
 import (
@@ -24,6 +26,104 @@ import (
 	"haac/internal/bench"
 )
 
+// experiment is one selectable evaluation artifact.
+type experiment struct {
+	name  string
+	title string
+	run   func(env *bench.Env) (string, error)
+}
+
+// experiments returns every artifact in presentation order — the single
+// source of truth for the doc comment, the flag help and the tests.
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "PPC technique comparison", func(*bench.Env) (string, error) {
+			return bench.Table1(), nil
+		}},
+		{"table2", "benchmark characteristics", func(env *bench.Env) (string, error) {
+			_, s, err := env.Table2()
+			return s, err
+		}},
+		{"fig6", "compiler optimization speedups over CPU", func(env *bench.Env) (string, error) {
+			_, s, err := env.Fig6()
+			return s, err
+		}},
+		{"table3", "wire traffic: segment vs full reorder", func(env *bench.Env) (string, error) {
+			_, s, err := env.Table3()
+			return s, err
+		}},
+		{"fig7", "compute vs wire traffic across orderings and SWW sizes", func(env *bench.Env) (string, error) {
+			_, s, err := env.Fig7()
+			return s, err
+		}},
+		{"fig8", "GE scaling with DDR4 and HBM2", func(env *bench.Env) (string, error) {
+			_, s, err := env.Fig8()
+			return s, err
+		}},
+		{"table4", "area and power breakdown", func(env *bench.Env) (string, error) {
+			return env.Table4()
+		}},
+		{"fig9", "energy breakdown and efficiency vs CPU", func(env *bench.Env) (string, error) {
+			_, s, err := env.Fig9()
+			return s, err
+		}},
+		{"fig10", "slowdown vs plaintext", func(env *bench.Env) (string, error) {
+			_, s, err := env.Fig10()
+			return s, err
+		}},
+		{"table5", "comparison to prior accelerators", func(env *bench.Env) (string, error) {
+			_, s, err := env.Table5()
+			return s, err
+		}},
+		{"garbler", "Garbler vs Evaluator gap", func(env *bench.Env) (string, error) {
+			_, s, err := env.GarblerVsEvaluator()
+			return s, err
+		}},
+		{"rekey", "re-keying overhead", func(*bench.Env) (string, error) {
+			_, _, s := bench.RekeyingOverhead()
+			return s, nil
+		}},
+		{"parallel", "parallel level-scheduled garbling and pipelined 2PC", func(env *bench.Env) (string, error) {
+			_, s, err := env.ParallelGarbling()
+			return s, err
+		}},
+		{"ot", "IKNP OT extension: batched input phase vs DH baseline", func(env *bench.Env) (string, error) {
+			_, s, err := env.OTExtension()
+			return s, err
+		}},
+		{"transport", "slab-encoded 2PC transport: bytes, allocations, throughput", func(env *bench.Env) (string, error) {
+			_, s, err := env.Transport()
+			return s, err
+		}},
+		{"ablation", "design-choice ablations (forwarding, push OoR, SWW, banking)", func(env *bench.Env) (string, error) {
+			_, s, err := env.Ablations()
+			return s, err
+		}},
+		{"multicore", "future work: multiple HAAC cores (§6.5)", func(env *bench.Env) (string, error) {
+			_, s, err := env.MultiCore()
+			return s, err
+		}},
+		{"segsweep", "segment-size study (§4.2.1)", func(env *bench.Env) (string, error) {
+			_, s, err := env.SegmentSweep()
+			return s, err
+		}},
+		{"coupling", "decoupled-model validation (finite queues vs max bound)", func(env *bench.Env) (string, error) {
+			_, s, err := env.Coupling()
+			return s, err
+		}},
+	}
+}
+
+// experimentNames returns the selectable names in order.
+func experimentNames() []string {
+	exps := experiments()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.name
+	}
+	return names
+}
+
 func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -31,10 +131,12 @@ func main() {
 // realMain is the testable entry point: it parses args, runs the
 // selected experiments and returns the process exit status.
 func realMain(args []string, stdout, stderr io.Writer) int {
+	exps := experiments()
 	fs := flag.NewFlagSet("haacbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scaleFlag := fs.String("scale", "paper", "workload scale: paper or small")
-	expFlag := fs.String("experiments", "all", "comma-separated experiment list (table1..table5, fig6..fig10, garbler, rekey, parallel, ot, transport, ablation, multicore, segsweep, coupling, all)")
+	expFlag := fs.String("experiments", "all",
+		"comma-separated experiment list ("+strings.Join(experimentNames(), ", ")+", all)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -47,105 +149,40 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	known := map[string]bool{"all": true}
+	for _, e := range exps {
+		known[e.name] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
-		want[strings.TrimSpace(strings.ToLower(e))] = true
+		name := strings.TrimSpace(strings.ToLower(e))
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			fmt.Fprintf(stderr, "unknown experiment %q (want %s or all)\n",
+				name, strings.Join(experimentNames(), ", "))
+			return 2
+		}
+		want[name] = true
 	}
 	all := want["all"]
-	sel := func(name string) bool { return all || want[name] }
 
 	env := bench.NewEnv(scale)
 	fmt.Fprintf(stdout, "HAAC evaluation harness — scale=%s\n", scale)
 	fmt.Fprintf(stdout, "==================================================\n\n")
 
-	status := 0
-	run := func(name, title string, f func() (string, error)) {
-		if !sel(name) || status != 0 {
-			return
+	for _, e := range exps {
+		if !all && !want[e.name] {
+			continue
 		}
 		start := time.Now()
-		out, err := f()
+		out, err := e.run(env)
 		if err != nil {
-			fmt.Fprintf(stderr, "%s: %v\n", name, err)
-			status = 1
-			return
+			fmt.Fprintf(stderr, "%s: %v\n", e.name, err)
+			return 1
 		}
-		fmt.Fprintf(stdout, "## %s (%s)\n\n%s\n[%s in %v]\n\n", name, title, out, name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "## %s (%s)\n\n%s\n[%s in %v]\n\n", e.name, e.title, out, e.name, time.Since(start).Round(time.Millisecond))
 	}
-
-	run("table1", "PPC technique comparison", func() (string, error) {
-		return bench.Table1(), nil
-	})
-	run("table2", "benchmark characteristics", func() (string, error) {
-		_, s, err := env.Table2()
-		return s, err
-	})
-	run("fig6", "compiler optimization speedups over CPU", func() (string, error) {
-		_, s, err := env.Fig6()
-		return s, err
-	})
-	run("table3", "wire traffic: segment vs full reorder", func() (string, error) {
-		_, s, err := env.Table3()
-		return s, err
-	})
-	run("fig7", "compute vs wire traffic across orderings and SWW sizes", func() (string, error) {
-		_, s, err := env.Fig7()
-		return s, err
-	})
-	run("fig8", "GE scaling with DDR4 and HBM2", func() (string, error) {
-		_, s, err := env.Fig8()
-		return s, err
-	})
-	run("table4", "area and power breakdown", func() (string, error) {
-		return env.Table4()
-	})
-	run("fig9", "energy breakdown and efficiency vs CPU", func() (string, error) {
-		_, s, err := env.Fig9()
-		return s, err
-	})
-	run("fig10", "slowdown vs plaintext", func() (string, error) {
-		_, s, err := env.Fig10()
-		return s, err
-	})
-	run("table5", "comparison to prior accelerators", func() (string, error) {
-		_, s, err := env.Table5()
-		return s, err
-	})
-	run("garbler", "Garbler vs Evaluator gap", func() (string, error) {
-		_, s, err := env.GarblerVsEvaluator()
-		return s, err
-	})
-	run("rekey", "re-keying overhead", func() (string, error) {
-		_, s := bench.RekeyingOverhead()
-		return s, nil
-	})
-	run("parallel", "parallel level-scheduled garbling and pipelined 2PC", func() (string, error) {
-		_, s, err := env.ParallelGarbling()
-		return s, err
-	})
-	run("ot", "IKNP OT extension: batched input phase vs DH baseline", func() (string, error) {
-		_, s, err := env.OTExtension()
-		return s, err
-	})
-	run("transport", "slab-encoded 2PC transport: bytes, allocations, throughput", func() (string, error) {
-		_, s, err := env.Transport()
-		return s, err
-	})
-	run("ablation", "design-choice ablations (forwarding, push OoR, SWW, banking)", func() (string, error) {
-		_, s, err := env.Ablations()
-		return s, err
-	})
-	run("multicore", "future work: multiple HAAC cores (§6.5)", func() (string, error) {
-		_, s, err := env.MultiCore()
-		return s, err
-	})
-	run("segsweep", "segment-size study (§4.2.1)", func() (string, error) {
-		_, s, err := env.SegmentSweep()
-		return s, err
-	})
-	run("coupling", "decoupled-model validation (finite queues vs max bound)", func() (string, error) {
-		_, s, err := env.Coupling()
-		return s, err
-	})
-	return status
+	return 0
 }

@@ -7,6 +7,15 @@
 // cycle-level accelerator simulator (gate engines, sliding wire window,
 // queues, DDR4/HBM2 streaming).
 //
+// The default garbling hash everywhere (Run2PC, GarbleAndEvaluate, the
+// protocol options) is the paper's secure re-keyed construction: each
+// AND gate derives fresh AES keys from its gate index. Its software
+// hot path expands each key once into pooled scratch and reuses the
+// schedule across the gate's blocks, so re-keying costs two key
+// expansions per garbled gate and zero steady-state allocations —
+// the same cost model as HAAC's Half-Gate pipeline, quantified by the
+// "rekey" experiment in cmd/haacbench.
+//
 // Typical flows:
 //
 //	// Build a circuit and run it as a real two-party computation.

@@ -61,8 +61,15 @@ func calibrationCircuit() *circuit.Circuit {
 
 // MeasureCPU times the software garbler (and optionally evaluator) on
 // the host and solves for per-gate costs. The XOR cost is obtained from
-// a second, XOR-only circuit.
+// a second, XOR-only circuit. The hasher's scratch pools are warmed
+// first so one-time setup does not contaminate the per-gate numbers —
+// with the pooled re-keyed and fixed-key hashers the measured loops are
+// allocation-free, so the model prices hashing, not garbage collection.
 func MeasureCPU(h gc.Hasher, evaluator bool) CPUModel {
+	if h4, ok := h.(gc.Hasher4); ok {
+		var l label.L
+		h4.Hash4(l, l, l, l, 0, 0, 1, 1)
+	}
 	mixed := calibrationCircuit()
 	stats := mixed.ComputeStats()
 

@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 
 	"haac/internal/baseline"
 	"haac/internal/compiler"
 	"haac/internal/energy"
 	"haac/internal/gc"
+	"haac/internal/label"
 	"haac/internal/sim"
 	"haac/internal/workloads"
 )
@@ -260,11 +262,72 @@ func (e *Env) Table5() ([]Table5Row, string, error) {
 	return rows, table([]string{"System", "Benchmark", "Prior (us)", "HAAC (us)", "Speedup", "Note"}, out), nil
 }
 
+// RekeyRow is one hasher's measured garbling cost in the re-keying
+// experiment.
+type RekeyRow struct {
+	Hasher   string
+	NsPerAND float64
+	// AllocsPerHash4 is the steady-state heap-allocation count of one
+	// batched four-hash call (one garbled AND gate's hashing).
+	AllocsPerHash4 float64
+}
+
+// hash4Allocs measures steady-state allocations of one Hash4 call.
+func hash4Allocs(h gc.Hasher4) float64 {
+	l := label.L{Lo: 1, Hi: 2}
+	h.Hash4(l, l, l, l, 2, 2, 3, 3) // warm scratch pools
+	const n = 500
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		t0 := uint64(2 * i)
+		h.Hash4(l, l, l, l, t0, t0, t0+1, t0+1)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / n
+}
+
 // RekeyingOverhead measures the §2.1 claim: re-keying vs fixed-key
-// Half-Gate cost on the host CPU (paper: +27.5%).
-func RekeyingOverhead() (float64, string) {
-	rekey := baseline.MeasureCPU(gc.RekeyedHasher{}, false)
-	fixed := baseline.MeasureCPU(gc.NewFixedKeyHasher([16]byte{3, 1, 4}), false)
-	over := (rekey.NsPerAND/fixed.NsPerAND - 1) * 100
-	return over, fmt.Sprintf("Re-keying overhead on host CPU: %+.1f%% per AND gate (paper: +27.5%%)\n", over)
+// Half-Gate cost on the host CPU (paper: +27.5%). Two denominators are
+// reported: `fixed-key-soft` runs the same software T-table AES as the
+// re-keyed hasher, so that ratio isolates the pure key-expansion
+// surcharge the paper quantifies; `fixed-key` is crypto/aes, which uses
+// AES-NI where available — its much larger gap is hardware-vs-software
+// AES, not re-keying cost. The headline overhead returned is the
+// matched-backend one.
+func RekeyingOverhead() ([]RekeyRow, float64, string) {
+	hashers := []gc.Hasher{
+		gc.RekeyedHasher{},
+		gc.NewSoftFixedKeyHasher([16]byte{3, 1, 4}),
+		gc.NewFixedKeyHasher([16]byte{3, 1, 4}),
+	}
+	var rows []RekeyRow
+	perAND := map[string]float64{}
+	for _, h := range hashers {
+		m := baseline.MeasureCPU(h, false)
+		rows = append(rows, RekeyRow{
+			Hasher:         h.Name(),
+			NsPerAND:       m.NsPerAND,
+			AllocsPerHash4: hash4Allocs(h.(gc.Hasher4)),
+		})
+		perAND[h.Name()] = m.NsPerAND
+	}
+	overSoft := (perAND["rekeyed"]/perAND["fixed-key-soft"] - 1) * 100
+	overHW := (perAND["rekeyed"]/perAND["fixed-key"] - 1) * 100
+
+	header := []string{"Hasher", "ns/AND", "allocs/Hash4"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Hasher,
+			fmt.Sprintf("%.1f", r.NsPerAND),
+			fmt.Sprintf("%.3f", r.AllocsPerHash4),
+		})
+	}
+	s := table(header, cells)
+	s += fmt.Sprintf("\nRe-keying overhead, matched software AES backend: %+.1f%% per AND gate (paper: +27.5%%)\n", overSoft)
+	s += fmt.Sprintf("Re-keying overhead vs crypto/aes fixed-key:       %+.1f%% (includes the host's hardware-AES advantage, not a re-keying cost)\n", overHW)
+	s += "(the re-keyed hasher expands each gate key once into pooled scratch and reuses\nthe schedule across the gate's blocks — two expansions per garbled gate, zero\nsteady-state allocations)\n"
+	return rows, overSoft, s
 }

@@ -210,6 +210,7 @@ func BenchmarkGarbleANDRekeyed(b *testing.B) {
 	r := src.NextDelta()
 	a0, b0 := src.Next(), src.Next()
 	h := RekeyedHasher{}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		garbleAND(h, a0, b0, r, uint64(i))
 	}
@@ -220,6 +221,21 @@ func BenchmarkGarbleANDFixedKey(b *testing.B) {
 	r := src.NextDelta()
 	a0, b0 := src.Next(), src.Next()
 	h := NewFixedKeyHasher([16]byte{9})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		garbleAND(h, a0, b0, r, uint64(i))
+	}
+}
+
+// BenchmarkGarbleANDFixedKeySoft is the matched-backend denominator for
+// the re-keying overhead: the same T-table AES as the re-keyed hasher,
+// without the per-gate key expansions.
+func BenchmarkGarbleANDFixedKeySoft(b *testing.B) {
+	src := label.NewSource(1)
+	r := src.NextDelta()
+	a0, b0 := src.Next(), src.Next()
+	h := NewSoftFixedKeyHasher([16]byte{9})
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		garbleAND(h, a0, b0, r, uint64(i))
 	}
@@ -231,6 +247,7 @@ func BenchmarkEvalANDRekeyed(b *testing.B) {
 	a0, b0 := src.Next(), src.Next()
 	h := RekeyedHasher{}
 	m, _ := garbleAND(h, a0, b0, r, 1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		evalAND(h, a0, b0, m, 1)
 	}

@@ -36,12 +36,18 @@ var goldenGates = []struct {
 	{"fixed-key", 0, "0a1c702e93f344c9c3c0b3548ba9c924526e4ab450c37b8a3df01b4f9b38095f", "b17d3ecd0923f900b205d5b49db14e97"},
 	{"fixed-key", 7, "29f9a703008bca649ad7b5d4ec53e9aafa43e2e90d3f7deb6e16d0e70c3c1400", "e8c4c84b4922e93a8ff3dfa632c02dd4"},
 	{"fixed-key", 1 << 40, "1b09b99202d7f59daa367dc8fceee3c7f084fce55c4e7d099c87218f117f2a49", "c1c638dc34c46642542efe179366cd31"},
+	// The T-table backend of the fixed-key construction must hit the
+	// exact same vectors as the crypto/aes one.
+	{"fixed-key-soft", 0, "0a1c702e93f344c9c3c0b3548ba9c924526e4ab450c37b8a3df01b4f9b38095f", "b17d3ecd0923f900b205d5b49db14e97"},
+	{"fixed-key-soft", 7, "29f9a703008bca649ad7b5d4ec53e9aafa43e2e90d3f7deb6e16d0e70c3c1400", "e8c4c84b4922e93a8ff3dfa632c02dd4"},
+	{"fixed-key-soft", 1 << 40, "1b09b99202d7f59daa367dc8fceee3c7f084fce55c4e7d099c87218f117f2a49", "c1c638dc34c46642542efe179366cd31"},
 }
 
 // Single-hash vectors: H(a0, 5) per construction.
 var goldenHashes = map[string]string{
-	"rekeyed":   "652aef2582ed43201fc2e2705c53ef98",
-	"fixed-key": "2bfee9a21d66345bb96660ec94d0f2c6",
+	"rekeyed":        "652aef2582ed43201fc2e2705c53ef98",
+	"fixed-key":      "2bfee9a21d66345bb96660ec94d0f2c6",
+	"fixed-key-soft": "2bfee9a21d66345bb96660ec94d0f2c6",
 }
 
 func goldenHasher(t *testing.T, name string) Hasher {
@@ -51,6 +57,8 @@ func goldenHasher(t *testing.T, name string) Hasher {
 		return RekeyedHasher{}
 	case "fixed-key":
 		return NewFixedKeyHasher(goldenFixedKey)
+	case "fixed-key-soft":
+		return NewSoftFixedKeyHasher(goldenFixedKey)
 	}
 	t.Fatalf("unknown hasher %q", name)
 	return nil

@@ -254,20 +254,6 @@ func TestParallelEvalTableCountMismatch(t *testing.T) {
 	}
 }
 
-// TestHash4MatchesHash pins the batched fixed-key path to the scalar one.
-func TestHash4MatchesHash(t *testing.T) {
-	h := NewFixedKeyHasher([16]byte{1, 2, 3})
-	src := label.NewSource(99)
-	for i := 0; i < 64; i++ {
-		l0, l1, l2, l3 := src.Next(), src.Next(), src.Next(), src.Next()
-		t0, t1 := uint64(2*i), uint64(2*i+1)
-		g0, g1, g2, g3 := h.Hash4(l0, l1, l2, l3, t0, t0, t1, t1)
-		if g0 != h.Hash(l0, t0) || g1 != h.Hash(l1, t0) || g2 != h.Hash(l2, t1) || g3 != h.Hash(l3, t1) {
-			t.Fatalf("Hash4 diverges from Hash at round %d", i)
-		}
-	}
-}
-
 // TestFixedKeyHasherConcurrent hammers one shared hasher from many
 // goroutines; run under -race this proves the shared-cipher claim.
 func TestFixedKeyHasherConcurrent(t *testing.T) {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package gc
+
+const raceEnabled = false

@@ -1,0 +1,242 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+
+	"haac/internal/label"
+	"haac/internal/workloads"
+)
+
+// Equality and allocation regressions for the batched hash paths. The
+// batched Hash2/Hash4 entry points must be drop-in replacements for
+// individual Hash calls (the golden vectors pin the absolute outputs;
+// these tests pin the batching itself on random inputs), and the
+// re-keyed construction must hash with zero steady-state allocations
+// now that it expands keys into pooled schedules instead of building a
+// crypto/aes cipher per call.
+
+// batchedHashers returns every hasher with a batched path, including
+// both fixed-key backends (which must agree with each other: same
+// construction, different AES implementation).
+func batchedHashers() []Hasher {
+	key := [16]byte{0x5a, 9, 8, 7}
+	return []Hasher{
+		RekeyedHasher{},
+		NewFixedKeyHasher(key),
+		NewSoftFixedKeyHasher(key),
+	}
+}
+
+func randLabel(rng *rand.Rand) label.L {
+	return label.L{Lo: rng.Uint64(), Hi: rng.Uint64()}
+}
+
+func TestHash4MatchesHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, h := range batchedHashers() {
+		h4, ok := h.(Hasher4)
+		if !ok {
+			t.Fatalf("%s does not implement Hasher4", h.Name())
+		}
+		for i := 0; i < 50; i++ {
+			l0, l1, l2, l3 := randLabel(rng), randLabel(rng), randLabel(rng), randLabel(rng)
+			// The garbler pattern (t0==t1, t2==t3) plus fully distinct
+			// tweaks, so both schedule-reuse branches are exercised.
+			t0 := rng.Uint64()
+			t2 := rng.Uint64()
+			tweaks := [][4]uint64{{t0, t0, t2, t2}, {t0, t2, t0 + 1, t2 + 1}}
+			for _, tw := range tweaks {
+				g0, g1, g2, g3 := h4.Hash4(l0, l1, l2, l3, tw[0], tw[1], tw[2], tw[3])
+				w0, w1 := h.Hash(l0, tw[0]), h.Hash(l1, tw[1])
+				w2, w3 := h.Hash(l2, tw[2]), h.Hash(l3, tw[3])
+				if g0 != w0 || g1 != w1 || g2 != w2 || g3 != w3 {
+					t.Fatalf("%s: Hash4%v diverges from individual hashes", h.Name(), tw)
+				}
+			}
+		}
+	}
+}
+
+func TestHash2MatchesHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, h := range batchedHashers() {
+		h2, ok := h.(Hasher2)
+		if !ok {
+			t.Fatalf("%s does not implement Hasher2", h.Name())
+		}
+		for i := 0; i < 50; i++ {
+			l0, l1 := randLabel(rng), randLabel(rng)
+			t0 := rng.Uint64()
+			for _, t1 := range []uint64{t0, t0 + 1, rng.Uint64()} {
+				g0, g1 := h2.Hash2(l0, l1, t0, t1)
+				if w0, w1 := h.Hash(l0, t0), h.Hash(l1, t1); g0 != w0 || g1 != w1 {
+					t.Fatalf("%s: Hash2(t0=%d,t1=%d) diverges from individual hashes", h.Name(), t0, t1)
+				}
+			}
+		}
+	}
+}
+
+// TestSoftFixedKeyMatchesFixedKey: the T-table and crypto/aes backends
+// of the fixed-key construction are interchangeable.
+func TestSoftFixedKeyMatchesFixedKey(t *testing.T) {
+	key := [16]byte{3, 1, 4, 1, 5, 9, 2, 6}
+	hw := NewFixedKeyHasher(key)
+	sw := NewSoftFixedKeyHasher(key)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		l := randLabel(rng)
+		tw := rng.Uint64()
+		if hw.Hash(l, tw) != sw.Hash(l, tw) {
+			t.Fatalf("backends diverge at tweak %d", tw)
+		}
+	}
+}
+
+// TestRekeyedHashNoSteadyStateAllocs pins the tentpole property: every
+// re-keyed hash entry point runs allocation-free once the scratch pool
+// is warm.
+func TestRekeyedHashNoSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	h := RekeyedHasher{}
+	l0, l1, l2, l3 := label.L{Lo: 1}, label.L{Lo: 2}, label.L{Lo: 3}, label.L{Lo: 4}
+	h.Hash(l0, 1) // warm the pool
+	if avg := testing.AllocsPerRun(100, func() { h.Hash(l0, 9) }); avg != 0 {
+		t.Errorf("Hash allocates %.1f times in steady state", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { h.Hash2(l0, l1, 8, 9) }); avg != 0 {
+		t.Errorf("Hash2 allocates %.1f times in steady state", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { h.Hash4(l0, l1, l2, l3, 8, 8, 9, 9) }); avg != 0 {
+		t.Errorf("Hash4 allocates %.1f times in steady state", avg)
+	}
+}
+
+// TestRekeyedGarbleEvalSteadyStateAllocs is the re-keyed twin of
+// proto's fixed-key stream test: with pooled schedules the whole
+// garble and eval tight loops allocate O(1) per circuit.
+func TestRekeyedGarbleEvalSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	w := workloads.DotProduct(4, 16)
+	c := w.Build()
+	and, _, _ := c.CountOps()
+	if and < 500 {
+		t.Fatalf("workload too small to detect per-gate allocations (%d ANDs)", and)
+	}
+	h := RekeyedHasher{}
+
+	garbled, err := Garble(c, h, label.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, e := w.Inputs(5)
+	inputs, err := garbled.EncodeInputs(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	garbleAllocs := testing.AllocsPerRun(10, func() {
+		sg, err := NewStreamGarbler(c, h, label.NewSource(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, ok := sg.Next(); !ok {
+				break
+			}
+		}
+	})
+	if garbleAllocs > 50 {
+		t.Fatalf("rekeyed garble loop allocates %.0f times for %d ANDs (want O(1) per circuit)", garbleAllocs, and)
+	}
+
+	evalAllocs := testing.AllocsPerRun(10, func() {
+		se, err := NewStreamEvaluator(c, h, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for se.NeedTable() {
+			if err := se.Feed(garbled.Tables[i]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+		if _, err := se.Outputs(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if evalAllocs > 50 {
+		t.Fatalf("rekeyed eval loop allocates %.0f times for %d ANDs (want O(1) per circuit)", evalAllocs, and)
+	}
+}
+
+// BenchmarkRekeyedHash4 measures the garbler's per-gate hashing: four
+// hashes, two key expansions, zero allocations.
+func BenchmarkRekeyedHash4(b *testing.B) {
+	h := RekeyedHasher{}
+	l0, l1, l2, l3 := label.L{Lo: 1}, label.L{Lo: 2}, label.L{Lo: 3}, label.L{Lo: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t0 := uint64(2 * i)
+		h.Hash4(l0, l1, l2, l3, t0, t0, t0+1, t0+1)
+	}
+}
+
+// BenchmarkRekeyedHash2 measures the evaluator's per-gate hashing: two
+// hashes under two distinct keys.
+func BenchmarkRekeyedHash2(b *testing.B) {
+	h := RekeyedHasher{}
+	l0, l1 := label.L{Lo: 1}, label.L{Lo: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t0 := uint64(2 * i)
+		h.Hash2(l0, l1, t0, t0+1)
+	}
+}
+
+// BenchmarkRekeyedGarble garbles a whole circuit with the paper's
+// re-keyed hash; allocs/op is O(1) per circuit (wire arrays), not per
+// gate.
+func BenchmarkRekeyedGarble(b *testing.B) {
+	c := workloads.DotProduct(4, 16).Build()
+	and, _, _ := c.CountOps()
+	h := RekeyedHasher{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Garble(c, h, label.NewSource(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(and)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MAND/s")
+}
+
+// BenchmarkRekeyedEval is the evaluator-side counterpart.
+func BenchmarkRekeyedEval(b *testing.B) {
+	w := workloads.DotProduct(4, 16)
+	c := w.Build()
+	and, _, _ := c.CountOps()
+	h := RekeyedHasher{}
+	garbled, err := Garble(c, h, label.NewSource(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, e := w.Inputs(5)
+	inputs, err := garbled.EncodeInputs(c, g, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(c, h, inputs, garbled.Tables); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(and)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MAND/s")
+}

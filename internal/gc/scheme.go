@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"haac/internal/aes128"
 	"haac/internal/label"
 )
 
@@ -91,6 +92,16 @@ type Hasher4 interface {
 	Hash4(l0, l1, l2, l3 label.L, t0, t1, t2, t3 uint64) (h0, h1, h2, h3 label.L)
 }
 
+// Hasher2 is the evaluator-side batched extension of Hasher: both
+// hashes of one evaluated AND gate in a single call. The two tweaks are
+// distinct (2j and 2j+1), so unlike Hash4 there is no key sharing to
+// exploit — the win is staging both blocks through one scratch
+// acquisition. Results must equal two individual Hash calls.
+type Hasher2 interface {
+	Hasher
+	Hash2(l0, l1 label.L, t0, t1 uint64) (h0, h1 label.L)
+}
+
 // hash4 computes the four half-gate hashes of one AND gate, through the
 // batched path when the hasher provides one.
 func hash4(h Hasher, a0, a1, b0, b1 label.L, t0, t1 uint64) (ha0, ha1, hb0, hb1 label.L) {
@@ -100,25 +111,102 @@ func hash4(h Hasher, a0, a1, b0, b1 label.L, t0, t1 uint64) (ha0, ha1, hb0, hb1 
 	return h.Hash(a0, t0), h.Hash(a1, t0), h.Hash(b0, t1), h.Hash(b1, t1)
 }
 
+// hash2 computes the two half-gate hashes of one evaluated AND gate,
+// through the batched path when the hasher provides one.
+func hash2(h Hasher, a, b label.L, t0, t1 uint64) (ha, hb label.L) {
+	if b2, ok := h.(Hasher2); ok {
+		return b2.Hash2(a, b, t0, t1)
+	}
+	return h.Hash(a, t0), h.Hash(b, t1)
+}
+
 // RekeyedHasher is the paper's secure construction: the AES key is the
-// tweak (gate-index-derived), so every call pays a key expansion —
+// tweak (gate-index-derived), so every hash pays a key expansion —
 // H(L, t) = AES_{K(t)}(L) XOR L. This is what HAAC's hardware pipeline
 // implements (key expansion + AES per hash).
+//
+// The implementation runs on the aes128 T-table tier with pooled
+// scratch: each tweak's key is expanded once into a worker-local
+// Schedule and reused for every block hashed under it, so the batched
+// Hash4 path pays two expansions for a garbled gate's four hashes (the
+// schedule-reuse the paper's Half-Gate pipeline exploits) and no call
+// allocates in steady state. Outputs are byte-identical to encrypting
+// with crypto/aes — the wire format and golden vectors are unchanged.
 type RekeyedHasher struct{}
+
+// rkScratch is one worker's re-keyed hash scratch: the tweak-derived
+// key, the expanded schedule it is reused through, and staging blocks
+// for one batched pair. Stack arrays would be fine for the T-table
+// calls, but pooling mirrors FixedKeyHasher and keeps the schedule —
+// 176 bytes — off the stack of every gate.
+type rkScratch struct {
+	key     [aes128.KeySize]byte
+	ks      aes128.Schedule
+	in, out [2 * label.Size]byte
+}
+
+// rkPool is shared by all RekeyedHasher values: the construction has no
+// per-instance state (the key is derived from the tweak alone), so the
+// zero value stays usable everywhere and every worker draws from one
+// pool, exactly like FixedKeyHasher's per-instance pool does for its
+// workers.
+var rkPool = sync.Pool{New: func() any { return new(rkScratch) }}
+
+// expand derives K(tweak) and expands it into the scratch schedule —
+// the per-gate re-keying cost the paper quantifies.
+func (s *rkScratch) expand(tweak uint64) {
+	binary.LittleEndian.PutUint64(s.key[0:8], tweak)
+	binary.LittleEndian.PutUint64(s.key[8:16], ^tweak)
+	s.ks.ExpandFrom(&s.key)
+}
+
+// hashPair hashes two labels under two tweaks, expanding the second key
+// only when it differs — one batched two-block encryption when the
+// tweaks match (the garbler's case), two single blocks otherwise.
+func (s *rkScratch) hashPair(l0, l1 label.L, t0, t1 uint64) (label.L, label.L) {
+	s.expand(t0)
+	l0.Put(s.in[0:16])
+	l1.Put(s.in[16:32])
+	if t1 == t0 {
+		s.ks.EncryptBlocksTo(s.out[:], s.in[:])
+	} else {
+		s.ks.EncryptTo(s.out[0:16], s.in[0:16])
+		s.expand(t1)
+		s.ks.EncryptTo(s.out[16:32], s.in[16:32])
+	}
+	return label.FromBytes(s.out[0:16]).Xor(l0), label.FromBytes(s.out[16:32]).Xor(l1)
+}
 
 // Hash implements Hasher.
 func (RekeyedHasher) Hash(l label.L, tweak uint64) label.L {
-	var key [16]byte
-	binary.LittleEndian.PutUint64(key[0:8], tweak)
-	binary.LittleEndian.PutUint64(key[8:16], ^tweak)
-	blk, err := aes.NewCipher(key[:]) // key expansion: the re-keying cost
-	if err != nil {
-		panic("gc: aes.NewCipher: " + err.Error())
-	}
-	in := l.Bytes()
-	var out [16]byte
-	blk.Encrypt(out[:], in[:])
-	return label.FromBytes(out[:]).Xor(l)
+	s := rkPool.Get().(*rkScratch)
+	s.expand(tweak)
+	l.Put(s.in[0:16])
+	s.ks.EncryptTo(s.out[0:16], s.in[0:16])
+	out := label.FromBytes(s.out[0:16]).Xor(l)
+	rkPool.Put(s)
+	return out
+}
+
+// Hash2 implements Hasher2: the evaluator's two hashes share one
+// scratch acquisition and one schedule slot (each half re-keys it).
+func (RekeyedHasher) Hash2(l0, l1 label.L, t0, t1 uint64) (h0, h1 label.L) {
+	s := rkPool.Get().(*rkScratch)
+	h0, h1 = s.hashPair(l0, l1, t0, t1)
+	rkPool.Put(s)
+	return
+}
+
+// Hash4 implements Hasher4: the garbler's four hashes use only two
+// distinct keys (t0==t1 and t2==t3 in the half-gate tweak schedule), so
+// each pair expands once and encrypts both blocks under the reused
+// schedule.
+func (RekeyedHasher) Hash4(l0, l1, l2, l3 label.L, t0, t1, t2, t3 uint64) (h0, h1, h2, h3 label.L) {
+	s := rkPool.Get().(*rkScratch)
+	h0, h1 = s.hashPair(l0, l1, t0, t1)
+	h2, h3 = s.hashPair(l2, l3, t2, t3)
+	rkPool.Put(s)
+	return
 }
 
 // Name implements Hasher.
@@ -174,6 +262,22 @@ func (h *FixedKeyHasher) Hash(l label.L, tweak uint64) label.L {
 	return out
 }
 
+// Hash2 implements Hasher2: the evaluator's two blocks staged through
+// the single expanded cipher with one pooled scratch acquisition.
+func (h *FixedKeyHasher) Hash2(l0, l1 label.L, t0, t1 uint64) (h0, h1 label.L) {
+	d0, d1 := double(l0, t0), double(l1, t1)
+	s := h.scratch.Get().(*fkScratch)
+	d0.Put(s.in[0:16])
+	d1.Put(s.in[16:32])
+	blk := h.blk
+	blk.Encrypt(s.out[0:16], s.in[0:16])
+	blk.Encrypt(s.out[16:32], s.in[16:32])
+	h0 = label.FromBytes(s.out[0:16]).Xor(d0)
+	h1 = label.FromBytes(s.out[16:32]).Xor(d1)
+	h.scratch.Put(s)
+	return
+}
+
 // Hash4 implements Hasher4: the four blocks of one AND gate are staged
 // through the single expanded cipher using pooled scratch buffers, so a
 // garbling worker pays no steady-state allocation and no per-hash
@@ -200,6 +304,71 @@ func (h *FixedKeyHasher) Hash4(l0, l1, l2, l3 label.L, t0, t1, t2, t3 uint64) (h
 
 // Name implements Hasher.
 func (h *FixedKeyHasher) Name() string { return "fixed-key" }
+
+// SoftFixedKeyHasher is FixedKeyHasher on the aes128 T-table tier
+// instead of crypto/aes. It produces the same hashes (AES is AES) but
+// pays software block costs, which makes it the matched-backend
+// denominator for the re-keying overhead experiment: RekeyedHasher vs
+// FixedKeyHasher confounds re-keying with hardware-vs-software AES on
+// AES-NI hosts, while RekeyedHasher vs SoftFixedKeyHasher isolates the
+// pure key-expansion surcharge the paper quantifies as +27.5%.
+type SoftFixedKeyHasher struct {
+	ks      aes128.Schedule
+	scratch sync.Pool
+}
+
+// NewSoftFixedKeyHasher builds a SoftFixedKeyHasher with the given
+// global key, expanded once at construction.
+func NewSoftFixedKeyHasher(key [16]byte) *SoftFixedKeyHasher {
+	h := &SoftFixedKeyHasher{}
+	h.ks.ExpandFrom(&key)
+	h.scratch.New = func() any { return new(fkScratch) }
+	return h
+}
+
+// Hash implements Hasher.
+func (h *SoftFixedKeyHasher) Hash(l label.L, tweak uint64) label.L {
+	d := double(l, tweak)
+	s := h.scratch.Get().(*fkScratch)
+	d.Put(s.in[0:16])
+	h.ks.EncryptTo(s.out[0:16], s.in[0:16])
+	out := label.FromBytes(s.out[0:16]).Xor(d)
+	h.scratch.Put(s)
+	return out
+}
+
+// Hash2 implements Hasher2.
+func (h *SoftFixedKeyHasher) Hash2(l0, l1 label.L, t0, t1 uint64) (h0, h1 label.L) {
+	d0, d1 := double(l0, t0), double(l1, t1)
+	s := h.scratch.Get().(*fkScratch)
+	d0.Put(s.in[0:16])
+	d1.Put(s.in[16:32])
+	h.ks.EncryptBlocksTo(s.out[0:32], s.in[0:32])
+	h0 = label.FromBytes(s.out[0:16]).Xor(d0)
+	h1 = label.FromBytes(s.out[16:32]).Xor(d1)
+	h.scratch.Put(s)
+	return
+}
+
+// Hash4 implements Hasher4.
+func (h *SoftFixedKeyHasher) Hash4(l0, l1, l2, l3 label.L, t0, t1, t2, t3 uint64) (h0, h1, h2, h3 label.L) {
+	d0, d1, d2, d3 := double(l0, t0), double(l1, t1), double(l2, t2), double(l3, t3)
+	s := h.scratch.Get().(*fkScratch)
+	d0.Put(s.in[0:16])
+	d1.Put(s.in[16:32])
+	d2.Put(s.in[32:48])
+	d3.Put(s.in[48:64])
+	h.ks.EncryptBlocksTo(s.out[:], s.in[:])
+	h0 = label.FromBytes(s.out[0:16]).Xor(d0)
+	h1 = label.FromBytes(s.out[16:32]).Xor(d1)
+	h2 = label.FromBytes(s.out[32:48]).Xor(d2)
+	h3 = label.FromBytes(s.out[48:64]).Xor(d3)
+	h.scratch.Put(s)
+	return
+}
+
+// Name implements Hasher.
+func (h *SoftFixedKeyHasher) Name() string { return "fixed-key-soft" }
 
 // GarbleAND garbles a single AND gate: given the input zero-labels and
 // the FreeXOR offset it returns the gate's table and output zero-label.
@@ -249,17 +418,17 @@ func garbleAND(h Hasher, a0, b0, r label.L, j uint64) (Material, label.L) {
 }
 
 // evalAND computes the output label from the two input labels and the
-// gate's table, using the labels' colour bits to select rows.
+// gate's table, using the labels' colour bits to select rows. Both
+// hashes go through the batched pair path when the hasher has one.
 func evalAND(h Hasher, a, b label.L, m Material, j uint64) label.L {
 	sa := a.Colour()
 	sb := b.Colour()
 	t0, t1 := 2*j, 2*j+1
 
-	wg := h.Hash(a, t0)
+	wg, we := hash2(h, a, b, t0, t1)
 	if sa == 1 {
 		wg = wg.Xor(m.TG)
 	}
-	we := h.Hash(b, t1)
 	if sb == 1 {
 		we = we.Xor(m.TE.Xor(a))
 	}

@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"io"
+	"net"
+	"runtime"
 	"testing"
 
 	"haac/internal/gc"
 	"haac/internal/label"
+	"haac/internal/ot"
 	"haac/internal/workloads"
 )
 
@@ -130,6 +133,53 @@ func TestGarbleEvalSteadyStateAllocs(t *testing.T) {
 	})
 	if evalAllocs > 50 {
 		t.Fatalf("eval loop allocates %.0f times for %d ANDs (want O(1) per circuit)", evalAllocs, and)
+	}
+}
+
+// TestRekeyed2PCSteadyStateAllocs: a full two-party run under the
+// paper's re-keyed hasher stays O(1) allocations per circuit now that
+// key schedules live in pooled scratch — before the schedule-reuse
+// rewrite this path paid one crypto/aes cipher allocation per hash
+// (~18 allocations per table on this workload).
+func TestRekeyed2PCSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	w := workloads.DotProduct(4, 16)
+	c := w.Build()
+	and, _, _ := c.CountOps()
+	g, e := w.Inputs(5)
+	opts := Options{OT: ot.Insecure, Seed: 7} // default hasher: rekeyed
+
+	run := func() {
+		ga, ev := net.Pipe()
+		errc := make(chan error, 1)
+		go func() {
+			_, err := RunGarbler(ga, c, g, opts)
+			errc <- err
+		}()
+		if _, err := RunEvaluator(ev, c, e, opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+		ga.Close()
+		ev.Close()
+	}
+	run() // warm pools
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const reps = 5
+	for i := 0; i < reps; i++ {
+		run()
+	}
+	runtime.ReadMemStats(&after)
+	perTable := float64(after.Mallocs-before.Mallocs) / reps / float64(and)
+	// Per-run overhead (pipe, goroutine, wire arrays) is O(1); a
+	// per-hash allocation regression puts this at >= 2.
+	if perTable > 0.5 {
+		t.Fatalf("rekeyed 2PC allocates %.2f times per table (%d ANDs; want hashing allocation-free)", perTable, and)
 	}
 }
 
