@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"haac/internal/bench"
+	"haac/internal/circuit"
 	"haac/internal/gc"
 	"haac/internal/label"
 	"haac/internal/ot"
@@ -335,6 +336,147 @@ func BenchmarkParallelGarblingTable(b *testing.B) {
 
 func benchName(prefix string, workers int) string {
 	return fmt.Sprintf("%s-x%d", prefix, workers)
+}
+
+// BenchmarkGarblePlan compares dense garbling against a reused
+// precompiled plan on the same circuit. ReportAllocs makes the headline
+// property visible: the planned steady state is 0 allocs/op while the
+// dense path re-allocates its wire arrays every run.
+func BenchmarkGarblePlan(b *testing.B) {
+	c := benchParallelCircuit(b)
+	h := gc.RekeyedHasher{}
+	and, _, _ := c.CountOps()
+	p, err := circuit.NewPlan(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gc.Garble(c, h, label.NewSource(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(and)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MAND/s")
+	})
+	b.Run("planned", func(b *testing.B) {
+		pg := gc.NewPlanGarbler(p, h, 1)
+		src := label.NewSource(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pg.Begin(src)
+			if _, err := pg.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(and)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MAND/s")
+	})
+}
+
+// BenchmarkEvalPlan is the evaluator-side counterpart.
+func BenchmarkEvalPlan(b *testing.B) {
+	w := workloads.MatMult(3, 16)
+	c := w.Build()
+	h := gc.RekeyedHasher{}
+	g, e := w.Inputs(5)
+	p, err := circuit.NewPlan(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	garbled, err := gc.Garble(c, h, label.NewSource(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := garbled.EncodeInputs(c, g, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gc.Evaluate(c, h, in, garbled.Tables); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("planned", func(b *testing.B) {
+		pe := gc.NewPlanEvaluator(p, h, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pe.Eval(in, garbled.Tables); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPrecompile prices the one-time plan construction that the
+// planned runs above amortize: liveness + renaming + schedule, O(gates).
+func BenchmarkPrecompile(b *testing.B) {
+	c := benchParallelCircuit(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Precompile(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark2PCPlanned compares full two-party runs with and without a
+// shared precompiled plan.
+func Benchmark2PCPlanned(b *testing.B) {
+	w := workloads.MatMult(3, 16)
+	c := w.Build()
+	g, e := w.Inputs(5)
+	p, err := Precompile(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts RunOptions
+	}{
+		{"dense", RunOptions{}},
+		{"planned", RunOptions{Plan: p}},
+		{"planned-pipelined-x8", RunOptions{Plan: p, Workers: 8, Pipelined: true}},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run2PCWith(c, g, e, m.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMemoryTable regenerates the dense-vs-planned memory table
+// (cmd/haacbench experiment "memory").
+func BenchmarkMemoryTable(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.Memory()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			worst := 0.0
+			for _, r := range rows {
+				if f := r.LiveFraction(); f > worst {
+					worst = f
+				}
+			}
+			b.ReportMetric(worst, "worst-live-fraction")
+		}
+	}
 }
 
 // BenchmarkOTExtension: one op is a full IKNP extension of m transfers,

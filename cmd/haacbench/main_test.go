@@ -77,14 +77,14 @@ func TestAllExperimentNamesSelectable(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5",
 		"fig6", "fig7", "fig8", "fig9", "fig10",
 		"garbler", "rekey", "parallel", "ot", "transport",
-		"ablation", "multicore", "segsweep", "coupling",
+		"memory", "ablation", "multicore", "segsweep", "coupling",
 	} {
 		if !known[n] {
 			t.Errorf("documented experiment %q is not in experiments()", n)
 		}
 	}
-	if len(known) != 19 {
-		t.Errorf("experiments() has %d entries, docs list 19 — update both", len(known))
+	if len(known) != 20 {
+		t.Errorf("experiments() has %d entries, docs list 20 — update both", len(known))
 	}
 }
 
@@ -123,6 +123,23 @@ func TestBenchOTAndTransportExperiments(t *testing.T) {
 	}
 	s := out.String()
 	for _, want := range []string{"## ot", "allocs/OT", "## transport", "allocs/table"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestBenchMemoryExperiment runs the memory experiment end to end and
+// checks the renaming invariant the table reports: peak-live slot width
+// strictly below total wires on every VIP workload.
+func TestBenchMemoryExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := realMain([]string{"-scale", "small", "-experiments", "memory"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"## memory", "peak-live", "plan allocs/run"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("output missing %q:\n%s", want, s)
 		}

@@ -184,6 +184,24 @@ func GarbleAndEvaluateWith(c *Circuit, garbler, evaluator []bool, seed uint64, o
 		workers = 1
 	}
 	h := gc.RekeyedHasher{}
+	if opts.Plan != nil {
+		if opts.Plan.Circuit() != c {
+			return nil, fmt.Errorf("haac: RunOptions.Plan was compiled from a different circuit")
+		}
+		g, err := gc.ParallelGarblePlan(opts.Plan.plan, h, label.NewSource(seed), workers)
+		if err != nil {
+			return nil, err
+		}
+		in, err := g.EncodeInputs(c, garbler, evaluator)
+		if err != nil {
+			return nil, err
+		}
+		out, err := gc.ParallelEvalPlan(opts.Plan.plan, h, in, g.Tables, workers)
+		if err != nil {
+			return nil, err
+		}
+		return g.Decode(out)
+	}
 	g, err := gc.ParallelGarble(c, h, label.NewSource(seed), workers)
 	if err != nil {
 		return nil, err
@@ -198,6 +216,39 @@ func GarbleAndEvaluateWith(c *Circuit, garbler, evaluator []bool, seed uint64, o
 	}
 	return g.Decode(out)
 }
+
+// Precompiled is a reusable execution plan for one circuit: the wire
+// space renamed onto a compact slot arena of width ≈ peak-live wires
+// plus the cached level schedule — the paper's rename-and-evict memory
+// idea (§3.1.4) applied to the software garbling engines. Build it once
+// with Precompile and pass it via RunOptions.Plan to every
+// Run2PCWith/RunGarblerWith/RunEvaluatorWith/GarbleAndEvaluateWith call
+// on the same circuit; repeated runs then amortize schedule
+// construction and renaming entirely and execute over arenas sized by
+// peak-live width instead of total wires. A Precompiled is immutable
+// and safe for concurrent use.
+type Precompiled struct {
+	plan *circuit.Plan
+}
+
+// Precompile builds the reusable execution plan for a circuit.
+func Precompile(c *Circuit) (*Precompiled, error) {
+	p, err := circuit.NewPlan(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Precompiled{plan: p}, nil
+}
+
+// Circuit returns the circuit the plan was compiled from.
+func (p *Precompiled) Circuit() *Circuit { return p.plan.Circuit }
+
+// NumSlots returns the width of the renamed slot space — the label
+// arena a planned run touches, against the circuit's NumWires.
+func (p *Precompiled) NumSlots() int { return p.plan.NumSlots }
+
+// PeakLive returns the maximum number of simultaneously live wires.
+func (p *Precompiled) PeakLive() int { return p.plan.PeakLive }
 
 // RunOptions configures the execution engine of the two-party protocol
 // and the local garbling helpers.
@@ -214,10 +265,20 @@ type RunOptions struct {
 	// queues. The wire format is unchanged, so a pipelined party
 	// interoperates with a sequential one.
 	Pipelined bool
+	// Plan, when non-nil, must come from Precompile on the same circuit
+	// the run executes; the engines selected by Workers/Pipelined then
+	// run over the plan's slot arena and cached schedule. The wire
+	// format is unchanged, so a planned party interoperates with an
+	// unplanned peer.
+	Plan *Precompiled
 }
 
 func (o RunOptions) proto() proto.Options {
-	return proto.Options{OT: ot.DH, Workers: o.Workers, Pipelined: o.Pipelined}
+	popts := proto.Options{OT: ot.DH, Workers: o.Workers, Pipelined: o.Pipelined}
+	if o.Plan != nil {
+		popts.Plan = o.Plan.plan
+	}
+	return popts
 }
 
 // Run2PC executes a real two-party computation over an in-memory

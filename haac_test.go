@@ -2,6 +2,8 @@ package haac
 
 import (
 	"testing"
+
+	"haac/internal/circuit"
 )
 
 // Facade-level integration tests: exercise the public API exactly as the
@@ -83,6 +85,77 @@ func TestFacadeParallelPipelined(t *testing.T) {
 	if v := val(plain); v != 39483 {
 		t.Fatalf("product = %d", v)
 	}
+}
+
+// TestFacadePrecompile exercises the compiled-plan facade: one
+// Precompile handle shared across every plan-aware entry point, built
+// exactly once no matter how many runs reuse it.
+func TestFacadePrecompile(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(16)
+	y := b.EvaluatorInputs(16)
+	b.OutputWord(b.Mul(x, y))
+	c := b.MustBuild()
+
+	g := bits(321, 16)
+	e := bits(123, 16)
+	plain, err := Eval(c, g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	builds := circuit.PlanBuilds()
+	p, err := Precompile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Circuit() != c {
+		t.Fatal("Precompile lost the circuit")
+	}
+	if p.NumSlots() >= c.NumWires || p.NumSlots() != p.PeakLive() {
+		t.Fatalf("renaming stats wrong: %d slots, %d peak-live, %d wires",
+			p.NumSlots(), p.PeakLive(), c.NumWires)
+	}
+
+	check := func(name string, out []bool, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range plain {
+			if out[i] != plain[i] {
+				t.Fatalf("%s: bit %d != plaintext", name, i)
+			}
+		}
+	}
+	for run := 0; run < 3; run++ {
+		out, err := Run2PCWith(c, g, e, RunOptions{Plan: p})
+		check("planned 2PC", out, err)
+	}
+	out, err := Run2PCWith(c, g, e, RunOptions{Plan: p, Workers: 4, Pipelined: true})
+	check("planned pipelined 2PC", out, err)
+	out, err = GarbleAndEvaluateWith(c, g, e, 99, RunOptions{Plan: p, Workers: 2})
+	check("planned local garble", out, err)
+
+	if got := circuit.PlanBuilds() - builds; got != 1 {
+		t.Fatalf("plan built %d times across all planned runs, want exactly 1", got)
+	}
+
+	// A plan from another circuit is rejected, not silently misused.
+	other := MustBuildAdd(t)
+	if _, err := Run2PCWith(other, bits(1, 8), bits(2, 8), RunOptions{Plan: p}); err == nil {
+		t.Fatal("foreign plan accepted")
+	}
+}
+
+// MustBuildAdd builds a small unrelated circuit for mismatch tests.
+func MustBuildAdd(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder()
+	x := b.GarblerInputs(8)
+	y := b.EvaluatorInputs(8)
+	b.OutputWord(b.Add(x, y))
+	return b.MustBuild()
 }
 
 func TestFacadeCompileSimulate(t *testing.T) {

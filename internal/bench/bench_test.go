@@ -217,6 +217,39 @@ func TestGarblerVsEvaluator(t *testing.T) {
 	}
 }
 
+func TestMemoryExperiment(t *testing.T) {
+	rows, s, err := env(t).Memory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("memory rows = %d, want the full VIP suite (8)\n%s", len(rows), s)
+	}
+	for _, r := range rows {
+		// The acceptance invariant: renaming compacts every VIP workload
+		// below its dense wire count.
+		if r.Slots >= r.Wires {
+			t.Fatalf("%s: peak-live %d not below %d wires\n%s", r.Name, r.Slots, r.Wires, s)
+		}
+		if r.PlanLabelBytes >= r.DenseLabelBytes {
+			t.Fatalf("%s: planned label bytes did not shrink\n%s", r.Name, s)
+		}
+		if r.LiveFraction() <= 0 || r.LiveFraction() >= 1 {
+			t.Fatalf("%s: live fraction %.3f out of (0,1)", r.Name, r.LiveFraction())
+		}
+		// Planned steady state must allocate (far) less than dense; the
+		// exact zero is asserted by the race-gated gc regression test.
+		// Under the race detector sync.Pool stops caching, so the counts
+		// lose meaning there.
+		if !raceEnabled && r.PlanAllocs > r.DenseAllocs {
+			t.Fatalf("%s: planned allocs %.1f above dense %.1f", r.Name, r.PlanAllocs, r.DenseAllocs)
+		}
+	}
+	if !strings.Contains(s, "peak-live") {
+		t.Fatal("formatting broken")
+	}
+}
+
 func TestCfgHelpers(t *testing.T) {
 	c := cfg(compiler.FullReorder, true, 2, 16, false)
 	if c.SWWWires != 131072 {

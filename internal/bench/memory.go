@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"haac/internal/circuit"
+	"haac/internal/gc"
+	"haac/internal/label"
+)
+
+// Memory experiment: the software mirror of the paper's renaming /
+// out-of-range-wire story (§3.1.4). The dense engines hold one label per
+// circuit wire per run; a precompiled plan renames the write-once wire
+// space onto ≈ peak-live slots and reuses one arena across runs. The
+// experiment reports, per VIP workload, how far the working set shrinks
+// (peak-live width vs total wires, resident label bytes) and what it
+// does to steady-state heap allocations per run.
+
+// MemoryRow reports one workload's dense-vs-planned memory profile.
+type MemoryRow struct {
+	Name     string
+	Wires    int // total circuit wires
+	Slots    int // renamed slot-space width (== peak-live wires)
+	ANDGates int
+	// DenseLabelBytes / PlanLabelBytes are the resident label-array
+	// bytes of one execution under each engine.
+	DenseLabelBytes int64
+	PlanLabelBytes  int64
+	// DenseAllocs / PlanAllocs are steady-state heap allocations for one
+	// full garble+evaluate cycle (not counting one-time plan/runner
+	// construction, which is amortized across runs).
+	DenseAllocs float64
+	PlanAllocs  float64
+}
+
+// LiveFraction returns Slots/Wires — the paper's "how small can the
+// window be" quantity.
+func (r MemoryRow) LiveFraction() float64 {
+	if r.Wires == 0 {
+		return 0
+	}
+	return float64(r.Slots) / float64(r.Wires)
+}
+
+// allocsPerRun measures steady-state heap allocations of fn (averaged
+// over reps) after one warm-up call, via runtime.MemStats — the bench
+// package's non-testing analogue of testing.AllocsPerRun.
+func allocsPerRun(reps int, fn func()) float64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	fn() // warm pools after the GC cleared them, and any lazily built state
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(reps)
+}
+
+// Memory measures the suite under the sequential dense engines vs a
+// reused plan runner pair.
+func (e *Env) Memory() ([]MemoryRow, string, error) {
+	h := gc.RekeyedHasher{}
+	const reps = 3
+	var rows []MemoryRow
+	for _, w := range e.Scale.Suite() {
+		c := e.Circuit(w)
+		p, err := circuit.NewPlan(c)
+		if err != nil {
+			return nil, "", fmt.Errorf("memory: %s: %w", w.Name, err)
+		}
+		and, _, _ := c.CountOps()
+		row := MemoryRow{
+			Name:            w.Name,
+			Wires:           c.NumWires,
+			Slots:           p.NumSlots,
+			ANDGates:        and,
+			DenseLabelBytes: int64(c.NumWires) * label.Size,
+			PlanLabelBytes:  int64(p.NumSlots) * label.Size,
+		}
+
+		garbled, err := gc.Garble(c, h, label.NewSource(11))
+		if err != nil {
+			return nil, "", err
+		}
+		gb, eb := w.Inputs(5)
+		inputs, err := garbled.EncodeInputs(c, gb, eb)
+		if err != nil {
+			return nil, "", err
+		}
+		tables := garbled.Tables
+
+		row.DenseAllocs = allocsPerRun(reps, func() {
+			g, err := gc.Garble(c, h, label.NewSource(11))
+			if err != nil {
+				panic(err)
+			}
+			if _, err := gc.Evaluate(c, h, inputs, g.Tables); err != nil {
+				panic(err)
+			}
+		})
+
+		pg := gc.NewPlanGarbler(p, h, 1)
+		pe := gc.NewPlanEvaluator(p, h, 1)
+		src := label.NewSource(11)
+		row.PlanAllocs = allocsPerRun(reps, func() {
+			pg.Begin(src)
+			if _, err := pg.Run(nil); err != nil {
+				panic(err)
+			}
+			if _, err := pe.Eval(inputs, tables); err != nil {
+				panic(err)
+			}
+		})
+		rows = append(rows, row)
+	}
+
+	header := []string{"Bench", "wires", "peak-live", "live %", "dense KB", "plan KB", "dense allocs/run", "plan allocs/run"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name,
+			fmt.Sprint(r.Wires),
+			fmt.Sprint(r.Slots),
+			fmt.Sprintf("%.1f", 100*r.LiveFraction()),
+			fmt.Sprintf("%.0f", float64(r.DenseLabelBytes)/1024),
+			fmt.Sprintf("%.0f", float64(r.PlanLabelBytes)/1024),
+			fmt.Sprintf("%.0f", r.DenseAllocs),
+			fmt.Sprintf("%.1f", r.PlanAllocs),
+		})
+	}
+	s := table(header, cells)
+	s += "\n(peak-live is the renamed slot-space width — the label arena a planned run touches;\n" +
+		"dense/plan KB are resident label bytes per run at 16 B per wire/slot; allocs/run is\n" +
+		"one steady-state garble+evaluate cycle — planned runs reuse one arena and the cached\n" +
+		"schedule, so they stay at zero)\n"
+	return rows, s, nil
+}

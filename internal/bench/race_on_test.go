@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active: it defeats
+// sync.Pool caching and instruments the runtime, so allocation-count
+// assertions are meaningless and skip.
+const raceEnabled = true

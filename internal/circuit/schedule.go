@@ -39,7 +39,13 @@ func (s *Schedule) NumLevels() int { return len(s.Free) }
 // leveling in Levels. It is O(gates) and allocates two int32 slices per
 // level plus the per-gate index arrays.
 func (c *Circuit) LevelSchedule() *Schedule {
-	levels := c.Levels()
+	return c.levelScheduleFrom(c.Levels())
+}
+
+// levelScheduleFrom is LevelSchedule over a leveling the caller already
+// holds, so passes that level the graph for their own use (the plan
+// builder) do not re-level it for the schedule.
+func (c *Circuit) levelScheduleFrom(levels []int) *Schedule {
 	maxLevel := 0
 	for _, l := range levels {
 		if l > maxLevel {

@@ -103,6 +103,7 @@ type LevelGarbler struct {
 	c          *circuit.Circuit
 	h          Hasher
 	workers    int
+	sched      *circuit.Schedule
 	r          label.L
 	wires      []label.L
 	inputZeros []label.L
@@ -111,6 +112,9 @@ type LevelGarbler struct {
 
 // NewLevelGarbler validates the circuit and draws the FreeXOR offset and
 // input labels, consuming src exactly as the sequential garbler does.
+// The level schedule is built here, once — not on Run. (To skip
+// schedule construction entirely across runs, precompile the circuit
+// and use PlanGarbler instead.)
 func NewLevelGarbler(c *circuit.Circuit, h Hasher, src *label.Source, workers int) (*LevelGarbler, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("gc: %w", err)
@@ -120,7 +124,7 @@ func NewLevelGarbler(c *circuit.Circuit, h Hasher, src *label.Source, workers in
 			return nil, fmt.Errorf("gc: gate %d has unknown op %d", i, op)
 		}
 	}
-	lg := &LevelGarbler{c: c, h: h, workers: clampWorkers(workers), r: src.NextDelta()}
+	lg := &LevelGarbler{c: c, h: h, workers: clampWorkers(workers), sched: c.LevelSchedule(), r: src.NextDelta()}
 	nin := c.NumInputs()
 	lg.wires = make([]label.L, c.NumWires)
 	lg.inputZeros = make([]label.L, nin)
@@ -147,7 +151,7 @@ func (lg *LevelGarbler) Run(emit func(tables []Material) error) (*Garbled, error
 	lg.ran = true
 	c, h, r, wires := lg.c, lg.h, lg.r, lg.wires
 
-	sched := c.LevelSchedule()
+	sched := lg.sched
 	// One slab backs the whole gate-order stream; per-level emits below
 	// are adjacent views of it, so no level allocates.
 	tables := make([]Material, sched.NumAND)
@@ -223,19 +227,50 @@ func ParallelEval(c *circuit.Circuit, h Hasher, inputs []label.L, tables []Mater
 // n must be final). This lets the pipelined protocol evaluate levels
 // while later tables are still in flight.
 func ParallelEvalStream(c *circuit.Circuit, h Hasher, inputs []label.L, workers int, need func(n int) ([]Material, error)) ([]label.L, error) {
-	if len(inputs) != c.NumInputs() {
-		return nil, fmt.Errorf("gc: got %d input labels, want %d", len(inputs), c.NumInputs())
+	le, err := NewLevelEvaluator(c, h, workers)
+	if err != nil {
+		return nil, err
 	}
-	workers = clampWorkers(workers)
+	return le.Run(inputs, need)
+}
+
+// LevelEvaluator is the reusable form of ParallelEvalStream: the level
+// schedule is built once at construction and every Run evaluates a
+// fresh set of inputs over it, so a process evaluating one circuit many
+// times recomputes nothing structural per run. (For the renamed,
+// allocation-free slot-arena path see PlanEvaluator.)
+type LevelEvaluator struct {
+	c       *circuit.Circuit
+	h       Hasher
+	workers int
+	sched   *circuit.Schedule
+}
+
+// NewLevelEvaluator validates the circuit and builds the schedule once.
+// (To skip schedule construction entirely across runs, precompile the
+// circuit and use PlanEvaluator instead.)
+func NewLevelEvaluator(c *circuit.Circuit, h Hasher, workers int) (*LevelEvaluator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("gc: %w", err)
+	}
 	for i := range c.Gates {
 		if op := c.Gates[i].Op; op != circuit.XOR && op != circuit.INV && op != circuit.AND {
 			return nil, fmt.Errorf("gc: gate %d has unknown op %d", i, op)
 		}
 	}
+	return &LevelEvaluator{c: c, h: h, workers: clampWorkers(workers), sched: c.LevelSchedule()}, nil
+}
+
+// Run evaluates one set of inputs under the ParallelEvalStream
+// contract. It may be called any number of times.
+func (le *LevelEvaluator) Run(inputs []label.L, need func(n int) ([]Material, error)) ([]label.L, error) {
+	c, h, workers, sched := le.c, le.h, le.workers, le.sched
+	if len(inputs) != c.NumInputs() {
+		return nil, fmt.Errorf("gc: got %d input labels, want %d", len(inputs), c.NumInputs())
+	}
 	wires := make([]label.L, c.NumWires)
 	copy(wires, inputs)
 
-	sched := c.LevelSchedule()
 	var tables []Material
 
 	evalSpan := func(gates []int32) {

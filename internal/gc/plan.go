@@ -1,0 +1,280 @@
+package gc
+
+import (
+	"fmt"
+
+	"haac/internal/circuit"
+	"haac/internal/label"
+)
+
+// Plan-based execution: the engines in this file run a precompiled
+// circuit.Plan instead of a raw circuit. The plan's renaming maps the
+// write-once wire space onto a slot space of width == peak-live wires,
+// so a run touches a label arena of NumSlots entries instead of
+// NumWires — the paper's rename-and-evict memory idea (§3.1.4) applied
+// to the software hot path — and the cached schedule removes the
+// per-run LevelSchedule rebuild. Runners own their arenas and reuse
+// them across runs: steady-state plan execution allocates nothing.
+//
+// Outputs are byte-identical to the dense engines: renaming only moves
+// where labels are stored, never what is hashed, and tables keep their
+// gate-order stream positions and tweaks.
+
+// PlanGarbler garbles a precompiled plan repeatedly with zero
+// steady-state allocations. A PlanGarbler is not safe for concurrent
+// use; share the Plan and give each goroutine its own runner.
+//
+// Usage per run: Begin (draws the FreeXOR offset and input labels, so a
+// protocol can ship labels and run OT before garbling), then Run. The
+// returned Garbled and every slice it references are owned by the
+// runner and overwritten by the next Begin/Run cycle.
+type PlanGarbler struct {
+	p          *circuit.Plan
+	h          Hasher
+	workers    int
+	pool       *levelPool
+	span       func(gates []int32)
+	slots      []label.L
+	inputZeros []label.L
+	tables     []Material
+	outs       []label.L
+	r          label.L
+	g          Garbled
+	began      bool
+}
+
+// NewPlanGarbler builds a reusable garbler for the plan. workers follows
+// the engine convention: <= 0 means one worker per CPU, 1 is sequential.
+// Call Close when done with a parallel runner to release its pool.
+func NewPlanGarbler(p *circuit.Plan, h Hasher, workers int) *PlanGarbler {
+	pg := &PlanGarbler{
+		p:          p,
+		h:          h,
+		workers:    clampWorkers(workers),
+		slots:      make([]label.L, p.NumSlots),
+		inputZeros: make([]label.L, p.Circuit.NumInputs()),
+		tables:     make([]Material, p.Schedule.NumAND),
+		outs:       make([]label.L, len(p.Circuit.Outputs)),
+	}
+	// The span worker is fixed here so Run never allocates a closure.
+	pg.span = func(gates []int32) {
+		sched, slots, tables := pg.p.Schedule, pg.slots, pg.tables
+		for _, gi := range gates {
+			g := &pg.p.Gates[gi]
+			idx := sched.ANDIndex[gi]
+			m, c0 := garbleAND(pg.h, slots[g.A], slots[g.B], pg.r, uint64(idx))
+			tables[idx] = m
+			slots[g.C] = c0
+		}
+	}
+	if pg.workers > 1 {
+		pg.pool = newLevelPool(pg.workers, pg.span)
+	}
+	return pg
+}
+
+// Close releases the worker pool (a no-op for sequential runners).
+func (pg *PlanGarbler) Close() {
+	if pg.pool != nil {
+		pg.pool.close()
+		pg.pool = nil
+	}
+}
+
+// Begin starts a run: it draws the FreeXOR offset and the input labels,
+// consuming src exactly as the dense garblers do.
+func (pg *PlanGarbler) Begin(src *label.Source) {
+	pg.r = src.NextDelta()
+	for i := range pg.inputZeros {
+		l := src.Next()
+		pg.slots[i] = l // inputs are renamed to themselves
+		pg.inputZeros[i] = l
+	}
+	pg.began = true
+}
+
+// R returns the FreeXOR offset of the current run.
+func (pg *PlanGarbler) R() label.L { return pg.r }
+
+// InputZeros returns the zero-labels of all input-like wires for the
+// current run. The slice is reused by the next Begin.
+func (pg *PlanGarbler) InputZeros() []label.L { return pg.inputZeros }
+
+// Run garbles the whole plan level by level, invoking emit (if non-nil)
+// with successive gate-order table chunks as levels complete, exactly
+// like LevelGarbler.Run. Begin must be called before each Run.
+func (pg *PlanGarbler) Run(emit func(tables []Material) error) (*Garbled, error) {
+	if !pg.began {
+		return nil, fmt.Errorf("gc: PlanGarbler.Run without Begin")
+	}
+	pg.began = false
+	sched, gates, slots, r := pg.p.Schedule, pg.p.Gates, pg.slots, pg.r
+
+	sent := 0
+	for k := 0; k < sched.NumLevels(); k++ {
+		for _, gi := range sched.Free[k] {
+			g := &gates[gi]
+			if g.Op == circuit.XOR {
+				slots[g.C] = slots[g.A].Xor(slots[g.B])
+			} else { // INV
+				slots[g.C] = slots[g.A].Xor(r)
+			}
+		}
+		if and := sched.AND[k]; len(and) > 0 {
+			if pg.pool != nil && len(and) >= minParallelLevel {
+				pg.pool.run(and)
+			} else {
+				pg.span(and)
+			}
+		}
+		if emit != nil {
+			if ready := sched.EmitReady[k]; ready > sent {
+				if err := emit(pg.tables[sent:ready]); err != nil {
+					return nil, fmt.Errorf("gc: emitting tables: %w", err)
+				}
+				sent = ready
+			}
+		}
+	}
+
+	for i, s := range pg.p.OutputSlots {
+		pg.outs[i] = slots[s]
+	}
+	pg.g = Garbled{R: r, InputZeros: pg.inputZeros, Tables: pg.tables, OutputZeros: pg.outs}
+	return &pg.g, nil
+}
+
+// GarblePlan garbles a plan sequentially in one shot — the plan-based
+// counterpart of Garble. For steady-state reuse hold a PlanGarbler
+// instead.
+func GarblePlan(p *circuit.Plan, h Hasher, src *label.Source) (*Garbled, error) {
+	pg := NewPlanGarbler(p, h, 1)
+	pg.Begin(src)
+	return pg.Run(nil)
+}
+
+// ParallelGarblePlan garbles a plan with a worker pool in one shot — the
+// plan-based counterpart of ParallelGarble.
+func ParallelGarblePlan(p *circuit.Plan, h Hasher, src *label.Source, workers int) (*Garbled, error) {
+	pg := NewPlanGarbler(p, h, workers)
+	defer pg.Close()
+	pg.Begin(src)
+	return pg.Run(nil)
+}
+
+// PlanEvaluator evaluates a precompiled plan repeatedly with zero
+// steady-state allocations. Not safe for concurrent use; share the Plan
+// and give each goroutine its own runner. The output-label slice
+// returned by Eval/EvalStream is reused by the next run.
+type PlanEvaluator struct {
+	p       *circuit.Plan
+	h       Hasher
+	workers int
+	pool    *levelPool
+	span    func(gates []int32)
+	slots   []label.L
+	outs    []label.L
+	tables  []Material
+}
+
+// NewPlanEvaluator builds a reusable evaluator for the plan. workers
+// follows the engine convention; Close releases a parallel pool.
+func NewPlanEvaluator(p *circuit.Plan, h Hasher, workers int) *PlanEvaluator {
+	pe := &PlanEvaluator{
+		p:       p,
+		h:       h,
+		workers: clampWorkers(workers),
+		slots:   make([]label.L, p.NumSlots),
+		outs:    make([]label.L, len(p.Circuit.Outputs)),
+	}
+	pe.span = func(gates []int32) {
+		sched, slots, tables := pe.p.Schedule, pe.slots, pe.tables
+		for _, gi := range gates {
+			g := &pe.p.Gates[gi]
+			idx := sched.ANDIndex[gi]
+			slots[g.C] = evalAND(pe.h, slots[g.A], slots[g.B], tables[idx], uint64(idx))
+		}
+	}
+	if pe.workers > 1 {
+		pe.pool = newLevelPool(pe.workers, pe.span)
+	}
+	return pe
+}
+
+// Close releases the worker pool (a no-op for sequential runners).
+func (pe *PlanEvaluator) Close() {
+	if pe.pool != nil {
+		pe.pool.close()
+		pe.pool = nil
+	}
+}
+
+// Eval runs the evaluator over the full table stream, producing output
+// labels identical to Evaluate on the dense path.
+func (pe *PlanEvaluator) Eval(inputs []label.L, tables []Material) ([]label.L, error) {
+	if len(tables) != pe.p.Schedule.NumAND {
+		return nil, fmt.Errorf("gc: %d tables provided, plan has %d AND gates",
+			len(tables), pe.p.Schedule.NumAND)
+	}
+	return pe.EvalStream(inputs, func(int) ([]Material, error) { return tables, nil })
+}
+
+// EvalStream evaluates with tables arriving asynchronously under the
+// ParallelEvalStream contract: before each AND level it calls need(n),
+// which must block until the first n tables of the gate-order stream are
+// final and return the stream so far.
+func (pe *PlanEvaluator) EvalStream(inputs []label.L, need func(n int) ([]Material, error)) ([]label.L, error) {
+	c := pe.p.Circuit
+	if len(inputs) != c.NumInputs() {
+		return nil, fmt.Errorf("gc: got %d input labels, want %d", len(inputs), c.NumInputs())
+	}
+	sched, gates, slots := pe.p.Schedule, pe.p.Gates, pe.slots
+	copy(slots, inputs) // inputs are renamed to themselves
+
+	for k := 0; k < sched.NumLevels(); k++ {
+		for _, gi := range sched.Free[k] {
+			g := &gates[gi]
+			if g.Op == circuit.XOR {
+				slots[g.C] = slots[g.A].Xor(slots[g.B])
+			} else { // INV: evaluator keeps the active label
+				slots[g.C] = slots[g.A]
+			}
+		}
+		if and := sched.AND[k]; len(and) > 0 {
+			t, err := need(sched.NeedTables[k])
+			if err != nil {
+				return nil, fmt.Errorf("gc: waiting for tables: %w", err)
+			}
+			if len(t) < sched.NeedTables[k] {
+				return nil, fmt.Errorf("gc: table stream exhausted (have %d, level %d needs %d)",
+					len(t), k+1, sched.NeedTables[k])
+			}
+			pe.tables = t
+			if pe.pool != nil && len(and) >= minParallelLevel {
+				pe.pool.run(and)
+			} else {
+				pe.span(and)
+			}
+		}
+	}
+	pe.tables = nil
+
+	for i, s := range pe.p.OutputSlots {
+		pe.outs[i] = slots[s]
+	}
+	return pe.outs, nil
+}
+
+// EvalPlan evaluates a plan sequentially in one shot — the plan-based
+// counterpart of Evaluate. For steady-state reuse hold a PlanEvaluator.
+func EvalPlan(p *circuit.Plan, h Hasher, inputs []label.L, tables []Material) ([]label.L, error) {
+	return NewPlanEvaluator(p, h, 1).Eval(inputs, tables)
+}
+
+// ParallelEvalPlan evaluates a plan with a worker pool in one shot — the
+// plan-based counterpart of ParallelEval.
+func ParallelEvalPlan(p *circuit.Plan, h Hasher, inputs []label.L, tables []Material, workers int) ([]label.L, error) {
+	pe := NewPlanEvaluator(p, h, workers)
+	defer pe.Close()
+	return pe.Eval(inputs, tables)
+}

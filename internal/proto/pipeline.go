@@ -201,7 +201,15 @@ func evalPipelined(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTabl
 		}
 		return tables[:len(tables):len(tables)], nil
 	}
-	out, evalErr := gc.ParallelEvalStream(c, opts.Hasher, inputs, opts.Workers, need)
+	var out []label.L
+	var evalErr error
+	if opts.Plan != nil {
+		pe := gc.NewPlanEvaluator(opts.Plan, opts.Hasher, opts.Workers)
+		defer pe.Close()
+		out, evalErr = pe.EvalStream(inputs, need)
+	} else {
+		out, evalErr = gc.ParallelEvalStream(c, opts.Hasher, inputs, opts.Workers, need)
+	}
 
 	// Join the reader before the caller touches rd again (the decode
 	// bits follow the tables on the same stream).

@@ -1,0 +1,146 @@
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"haac/internal/circuit"
+	"haac/internal/gc"
+	"haac/internal/label"
+)
+
+// Plan-based protocol paths: when Options.Plan carries a precompiled
+// circuit.Plan, both roles execute over the plan's compact slot arena
+// and cached schedule instead of dense per-run wire arrays — repeated
+// runs of one circuit amortize schedule construction and renaming
+// entirely. The byte stream is identical to the dense paths (tables in
+// gate order, same labels), so a planned party interoperates with a
+// dense peer, pipelined or not.
+
+// planWorkers resolves Options.Workers for the plan engines: outside
+// pipelined mode 0 means sequential (matching the dense paths, where
+// only Pipelined defaults to one worker per CPU).
+func planWorkers(opts Options) int {
+	if opts.Workers <= 0 && !opts.Pipelined {
+		return 1
+	}
+	return opts.Workers
+}
+
+// garblerPlanned implements RunGarbler for all engine modes over a
+// precompiled plan. The header has already been written to w.
+func garblerPlanned(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, garblerBits []bool, opts Options) ([]bool, error) {
+	pg := gc.NewPlanGarbler(opts.Plan, opts.Hasher, planWorkers(opts))
+	defer pg.Close()
+	pg.Begin(label.NewSource(opts.Seed))
+
+	if err := sendActiveInputs(w, c, pg.InputZeros(), pg.R(), garblerBits); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+
+	if opts.Pipelined {
+		// Garble on a separate goroutine so levels complete while the
+		// interactive OT is in flight, flushing each chunk — the same
+		// overlap structure as the dense pipelined path.
+		type garbleResult struct {
+			garbled *gc.Garbled
+			err     error
+		}
+		chunks := make(chan []gc.Material, 64)
+		done := make(chan garbleResult, 1)
+		go func() {
+			garbled, err := pg.Run(func(tables []gc.Material) error {
+				chunks <- tables
+				return nil
+			})
+			close(chunks)
+			done <- garbleResult{garbled, err}
+		}()
+		abort := func(err error) ([]bool, error) {
+			for range chunks {
+			}
+			<-done
+			return nil, err
+		}
+
+		if err := sendEvalLabels(conn, c, pg.InputZeros(), pg.R(), opts.OT); err != nil {
+			return abort(err)
+		}
+		for tables := range chunks {
+			if err := writeTables(w, tables); err != nil {
+				return abort(err)
+			}
+			if err := w.Flush(); err != nil {
+				return abort(err)
+			}
+		}
+		res := <-done
+		if res.err != nil {
+			return nil, res.err
+		}
+		return finishGarbler(conn, w, c, res.garbled)
+	}
+
+	// Sequential / offline-parallel: OT first, then garble with each
+	// completed level's tables streamed through the buffered writer —
+	// the same bytes as the dense sequential table stream.
+	if err := sendEvalLabels(conn, c, pg.InputZeros(), pg.R(), opts.OT); err != nil {
+		return nil, err
+	}
+	garbled, err := pg.Run(func(tables []gc.Material) error {
+		return writeTables(w, tables)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finishGarbler(conn, w, c, garbled)
+}
+
+// evalPlanned implements RunEvaluator's non-pipelined plan modes: the
+// plan evaluator pulls tables off the wire level watermark by level
+// watermark through one pooled arena and slab.
+func evalPlanned(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTables int, opts Options) ([]label.L, error) {
+	pe := gc.NewPlanEvaluator(opts.Plan, opts.Hasher, planWorkers(opts))
+	defer pe.Close()
+	arena, tables := getArena(nTables)
+	defer putArena(arena)
+	bp := getSlab(slabBytes)
+	defer putSlab(bp)
+	slab := *bp
+
+	got := 0
+	read := func(upto int) error {
+		for got < upto {
+			n := upto - got
+			if n > slabTables {
+				n = slabTables
+			}
+			if _, err := io.ReadFull(rd, slab[:n*gc.MaterialSize]); err != nil {
+				return fmt.Errorf("proto: reading tables: %w", err)
+			}
+			gc.DecodeMaterials(tables[got:got+n], slab)
+			got += n
+		}
+		return nil
+	}
+	out, err := pe.EvalStream(inputs, func(n int) ([]gc.Material, error) {
+		if err := read(n); err != nil {
+			return nil, err
+		}
+		return tables[:got], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The final watermark covers the whole stream whenever the circuit
+	// has AND gates, but keep the stream position honest regardless —
+	// the decode bits follow the tables on the same connection.
+	if err := read(nTables); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

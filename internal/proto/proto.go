@@ -58,6 +58,13 @@ type Options struct {
 	// The wire format is unchanged, so a pipelined party interoperates
 	// with a sequential peer.
 	Pipelined bool
+	// Plan, when non-nil, must be a plan compiled from the same circuit
+	// passed to RunGarbler/RunEvaluator; the run then executes over the
+	// plan's compact slot arena and cached schedule (in whichever mode
+	// Workers/Pipelined select) instead of dense per-run wire arrays.
+	// Share one plan across runs to amortize schedule construction and
+	// renaming. The wire format is unchanged.
+	Plan *circuit.Plan
 }
 
 func (o *Options) fill() error {
@@ -206,6 +213,9 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 	if len(garblerBits) != c.GarblerInputs {
 		return nil, fmt.Errorf("proto: got %d garbler bits, want %d", len(garblerBits), c.GarblerInputs)
 	}
+	if opts.Plan != nil && opts.Plan.Circuit != c {
+		return nil, fmt.Errorf("proto: Options.Plan was compiled from a different circuit")
+	}
 	conn = instrument(conn, &opts)
 	opts.Stats.begin()
 	defer opts.Stats.end()
@@ -216,6 +226,9 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 		return nil, fmt.Errorf("proto: writing header: %w", err)
 	}
 
+	if opts.Plan != nil {
+		return garblerPlanned(conn, w, c, garblerBits, opts)
+	}
 	if opts.Pipelined {
 		return garblerPipelined(conn, w, c, garblerBits, opts)
 	}
@@ -303,6 +316,9 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 	if len(evalBits) != c.EvaluatorInputs {
 		return nil, fmt.Errorf("proto: got %d evaluator bits, want %d", len(evalBits), c.EvaluatorInputs)
 	}
+	if opts.Plan != nil && opts.Plan.Circuit != c {
+		return nil, fmt.Errorf("proto: Options.Plan was compiled from a different circuit")
+	}
 	conn = instrument(conn, &opts)
 	opts.Stats.begin()
 	defer opts.Stats.end()
@@ -356,6 +372,8 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 	switch {
 	case opts.Pipelined:
 		outLabels, err = evalPipelined(rd, c, inputs, int(h.NTables), opts)
+	case opts.Plan != nil:
+		outLabels, err = evalPlanned(rd, c, inputs, int(h.NTables), opts)
 	case opts.Workers > 1:
 		outLabels, err = evalOffline(rd, c, inputs, int(h.NTables), opts)
 	default:
