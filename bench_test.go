@@ -587,3 +587,22 @@ func BenchmarkTransportTable(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServingTable regenerates the concurrent serving experiment
+// (cmd/haacbench experiment "serving"): sessions share one plan build
+// and pooled runners at 1, 4 and 16 concurrent evaluators.
+func BenchmarkServingTable(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, s, err := e.Serving()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + s)
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.RunsPerSec, "runs/s-16sess")
+			b.ReportMetric(last.AllocsPerRun, "allocs/run-16sess")
+		}
+	}
+}

@@ -9,6 +9,13 @@
 //
 //	haac-run -role garbler   -listen :9000 -workload Million-8 -value 200
 //	haac-run -role evaluator -addr 127.0.0.1:9000 -workload Million-8 -value 150
+//
+// A third role, client, opens a session against a haacd serving daemon
+// instead of a peer process and can execute many runs over one
+// connection, amortizing the server's precompiled plan:
+//
+//	haacd -workloads Million-8 -value 200 &
+//	haac-run -role client -addr 127.0.0.1:9100 -workload Million-8 -value 150 -runs 8
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"haac/internal/circuit"
 	"haac/internal/ot"
 	"haac/internal/proto"
+	"haac/internal/server"
 	"haac/internal/workloads"
 )
 
@@ -35,18 +43,23 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("haac-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	role := fs.String("role", "", "garbler or evaluator")
+	role := fs.String("role", "", "garbler, evaluator, or client (against a haacd daemon)")
 	listen := fs.String("listen", ":9000", "garbler listen address")
-	addr := fs.String("addr", "127.0.0.1:9000", "evaluator dial address")
+	addr := fs.String("addr", "127.0.0.1:9000", "evaluator/client dial address")
 	workload := fs.String("workload", "Million-8", "workload name (micro suite or small VIP suite)")
 	value := fs.Uint64("value", 0, "this party's integer input (packed little-endian into its input bits)")
 	otName := fs.String("ot", "dh", "oblivious transfer: dh, iknp, or insecure (benchmarks only)")
 	workers := fs.Int("workers", 0, "parallel garbling/eval workers (0 = sequential engine)")
 	pipelined := fs.Bool("pipelined", false, "stream tables level-by-level, overlapping garble/transfer/eval")
+	runs := fs.Int("runs", 1, "client role: number of runs over the session")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+	if *runs < 1 {
+		fmt.Fprintln(stderr, "-runs must be at least 1")
 		return 2
 	}
 
@@ -70,6 +83,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts := proto.Options{OT: otp, Workers: *workers, Pipelined: *pipelined}
+
+	if strings.EqualFold(*role, "client") {
+		return runClient(stdout, stderr, *addr, w, *value, *runs, server.Options{
+			OT: otp, Workers: *workers, Pipelined: *pipelined,
+		})
+	}
 
 	var conn net.Conn
 	switch strings.ToLower(*role) {
@@ -95,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "evaluator: connected to %s (%s)\n", *addr, w.Name)
 	default:
-		fmt.Fprintln(stderr, "-role must be garbler or evaluator")
+		fmt.Fprintln(stderr, "-role must be garbler, evaluator, or client")
 		return 2
 	}
 	defer conn.Close()
@@ -114,6 +133,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "result bits: %v\n", out)
 	fmt.Fprintf(stdout, "result as integer: %d\n", circuit.BoolsToUint(out))
+	return 0
+}
+
+// runClient opens a session against a haacd daemon and executes the
+// requested number of runs over it, precompiling the circuit client-
+// side so every run after the first reuses the session's plan runner.
+func runClient(stdout, stderr io.Writer, addr string, w workloads.Workload, value uint64, runs int, opts server.Options) int {
+	c := w.Build()
+	plan, err := circuit.NewPlan(c)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	opts.Plan = plan
+	sess, err := server.Dial(addr, w.Name, c, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer sess.Close()
+	fmt.Fprintf(stdout, "client: session open to %s (%s, server plan %d slots)\n", addr, w.Name, sess.NumSlots())
+	bits := circuit.UintToBools(value, c.EvaluatorInputs)
+	for i := 0; i < runs; i++ {
+		out, err := sess.Run(bits)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "run %d result bits: %v\n", i+1, out)
+		fmt.Fprintf(stdout, "run %d result as integer: %d\n", i+1, circuit.BoolsToUint(out))
+	}
 	return 0
 }
 

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"haac/internal/circuit"
+	"haac/internal/server"
 )
 
 // freePort reserves an ephemeral TCP port and releases it for the test
@@ -92,11 +95,79 @@ func TestRunPipelined(t *testing.T) {
 	}
 }
 
+// TestRunClientMode drives the client role end to end against an
+// in-process serving garbler: one session, several runs, plan reuse.
+func TestRunClientMode(t *testing.T) {
+	w, err := find("Million-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Build()
+	garblerBits := circuit.UintToBools(200, c.GarblerInputs)
+	srv, err := server.New(server.Config{
+		Circuits: []server.CircuitSpec{{
+			ID:      w.Name,
+			Circuit: c,
+			Inputs:  func() []bool { return garblerBits },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	}()
+
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-role", "client", "-addr", ln.Addr().String(),
+		"-workload", "Million-8", "-value", "150", "-runs", "3",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("client exit %d:\n%s%s", code, out.String(), errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "session open") || !strings.Contains(s, "server plan") {
+		t.Fatalf("session banner missing:\n%s", s)
+	}
+	for i := 1; i <= 3; i++ {
+		if !strings.Contains(s, fmt.Sprintf("run %d result as integer: 1", i)) {
+			t.Fatalf("run %d result missing (200 > 150 = 1):\n%s", i, s)
+		}
+	}
+
+	if st := srv.Stats(); st.CacheMisses != 1 {
+		t.Fatalf("server cache misses = %d, want 1", st.CacheMisses)
+	}
+}
+
+// TestRunClientModeErrors: dial failures and refused circuits exit 1.
+func TestRunClientModeErrors(t *testing.T) {
+	addr := freePort(t) // nothing listening
+	var out, errw bytes.Buffer
+	if code := run([]string{"-role", "client", "-addr", addr, "-workload", "Million-8"}, &out, &errw); code != 1 {
+		t.Fatalf("dead server: exit %d, want 1", code)
+	}
+	if errw.Len() == 0 {
+		t.Fatal("no diagnostic on stderr")
+	}
+}
+
 func TestRunBadArgs(t *testing.T) {
 	cases := [][]string{
 		{"-role", "nonsense"},
 		{"-workload", "NoSuchThing", "-role", "garbler"},
 		{"-role", "garbler", "-ot", "quantum"},
+		{"-role", "client", "-runs", "0"},
 	}
 	for _, args := range cases {
 		var out, errw bytes.Buffer

@@ -8,8 +8,8 @@
 //	haacbench [-scale paper|small] [-experiments table2,fig6,...]
 //
 // Experiments: table1 table2 table3 table4 table5 fig6 fig7 fig8 fig9
-// fig10 garbler rekey parallel ot transport memory ablation multicore
-// segsweep coupling (or "all"). The list is defined once in experiments();
+// fig10 garbler rekey parallel ot transport memory serving ablation
+// multicore segsweep coupling (or "all"). The list is defined once in experiments();
 // main_test.go checks this comment and the flag help against it, so
 // the three cannot drift apart.
 package main
@@ -97,6 +97,10 @@ func experiments() []experiment {
 		}},
 		{"memory", "precompiled plans: peak-live renaming vs dense wire arrays", func(env *bench.Env) (string, error) {
 			_, s, err := env.Memory()
+			return s, err
+		}},
+		{"serving", "concurrent 2PC serving: shared plan cache, sessions and allocs/run", func(env *bench.Env) (string, error) {
+			_, s, err := env.Serving()
 			return s, err
 		}},
 		{"ablation", "design-choice ablations (forwarding, push OoR, SWW, banking)", func(env *bench.Env) (string, error) {

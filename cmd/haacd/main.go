@@ -1,0 +1,147 @@
+// Command haacd is the serving garbler daemon: one process plays the
+// garbler for many concurrent evaluator sessions over TCP, sharing
+// precompiled execution plans and pooled garbling runners across them.
+// Evaluators connect with `haac-run -role client` (or haac.Dial) using
+// the workload name as the circuit id; the session handshake verifies a
+// SHA-256 digest of the circuit, so both sides must build the same
+// workload.
+//
+// Example — serve the millionaires' circuit and the small VIP suite:
+//
+//	haacd -listen :9100 -workloads Million-8,DotProd-S -value 200
+//
+// SIGINT/SIGTERM drain gracefully: listeners stop accepting, idle
+// sessions disconnect, in-flight runs finish, then the daemon reports
+// its serving totals and exits.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"haac/internal/circuit"
+	"haac/internal/server"
+	"haac/internal/workloads"
+)
+
+func main() {
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		close(stop)
+	}()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop))
+}
+
+// run is the testable entry point: it parses args, serves until stop
+// closes (or the listener fails), and returns the process exit status.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("haacd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:9100", "listen address")
+	names := fs.String("workloads", "all", "comma-separated workload names to serve (small VIP + micro suites), or all")
+	value := fs.Uint64("value", 0, "garbler input value, packed little-endian into each circuit's garbler bits")
+	workers := fs.Int("workers", 0, "garbling workers per session (0 = sequential)")
+	cacheSize := fs.Int("plan-cache", 0, "plan cache entries (0 = one per served circuit)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	specs, err := specsFor(*names, *value)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	srv, err := server.New(server.Config{
+		Circuits:      specs,
+		PlanCacheSize: *cacheSize,
+		Workers:       *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "haacd: serving %d circuits on %s\n", len(specs), ln.Addr())
+	for _, spec := range specs {
+		d, _ := srv.Digest(spec.ID)
+		fmt.Fprintf(stdout, "  %-16s %d gates  sha256:%x\n", spec.ID, len(spec.Circuit.Gates), d[:8])
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serve only returns on its own when the listener breaks.
+		fmt.Fprintln(stderr, err)
+		return 1
+	case <-stop:
+		fmt.Fprintln(stdout, "haacd: draining sessions")
+		srv.Close()
+		<-errc
+		st := srv.Stats()
+		fmt.Fprintf(stdout, "haacd: served %d runs over %d sessions (%d bytes out, cache %d/%d hit/miss)\n",
+			st.RunsServed, st.SessionsTotal, st.BytesOut, st.CacheHits, st.CacheMisses)
+		return 0
+	}
+}
+
+// specsFor resolves the served circuit set: every named workload from
+// the small VIP + micro suites, with the garbler's input bits packed
+// from value once and reused across runs.
+func specsFor(names string, value uint64) ([]server.CircuitSpec, error) {
+	suite := append(workloads.VIPSuiteSmall(), workloads.MicroSuite()...)
+	byName := map[string]workloads.Workload{}
+	var all []string
+	for _, w := range suite {
+		byName[strings.ToLower(w.Name)] = w
+		all = append(all, w.Name)
+	}
+	var picked []workloads.Workload
+	if strings.EqualFold(names, "all") {
+		picked = suite
+	} else {
+		for _, n := range strings.Split(names, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			w, ok := byName[strings.ToLower(n)]
+			if !ok {
+				return nil, fmt.Errorf("unknown workload %q; available: %s", n, strings.Join(all, ", "))
+			}
+			picked = append(picked, w)
+		}
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("no workloads selected; available: %s", strings.Join(all, ", "))
+	}
+	specs := make([]server.CircuitSpec, len(picked))
+	for i, w := range picked {
+		c := w.Build()
+		bits := circuit.UintToBools(value, c.GarblerInputs)
+		specs[i] = server.CircuitSpec{
+			ID:      w.Name,
+			Circuit: c,
+			Inputs:  func() []bool { return bits },
+		}
+	}
+	return specs, nil
+}

@@ -56,6 +56,7 @@ import (
 	"haac/internal/label"
 	"haac/internal/ot"
 	"haac/internal/proto"
+	"haac/internal/server"
 	"haac/internal/sim"
 	"haac/internal/workloads"
 )
@@ -337,6 +338,86 @@ func RunEvaluator(conn net.Conn, c *Circuit, evalBits []bool) ([]bool, error) {
 func RunEvaluatorWith(conn net.Conn, c *Circuit, evalBits []bool, opts RunOptions) ([]bool, error) {
 	return proto.RunEvaluator(conn, c, evalBits, opts.proto())
 }
+
+// Serving layer types, re-exported from internal/server: a concurrent
+// 2PC garbler service with a shared precompiled-plan cache, per-circuit
+// pooled runners, session handshakes bound to circuit digests, and
+// graceful connection-draining shutdown.
+type (
+	// Server is a concurrent 2PC garbler service.
+	Server = server.Server
+	// ServerConfig configures a Server (circuits, plan-cache bound,
+	// engine width, deterministic seeds for tests).
+	ServerConfig = server.Config
+	// ServedCircuit registers one servable circuit with its garbler
+	// input supplier.
+	ServedCircuit = server.CircuitSpec
+	// ServerStats is a snapshot of a server's counters: active sessions,
+	// runs served, bytes out/in, plan-cache hits/misses/evictions.
+	ServerStats = server.Stats
+	// Session is a client (evaluator) session against a serving garbler;
+	// call Run repeatedly, Close when done.
+	Session = server.Session
+	// PlanCache is the shared build-once, LRU-bounded plan cache behind
+	// a Server, usable standalone.
+	PlanCache = server.PlanCache
+)
+
+// Typed serving errors, re-exported for errors.Is checks.
+var (
+	// ErrUnknownCircuit: the server has no circuit under the dialed id.
+	ErrUnknownCircuit = server.ErrUnknownCircuit
+	// ErrDigestMismatch: the client's circuit differs structurally from
+	// the server's.
+	ErrDigestMismatch = server.ErrDigestMismatch
+	// ErrDraining: the server is shutting down and refused the run.
+	ErrDraining = server.ErrDraining
+	// ErrSessionClosed: the session's connection is gone.
+	ErrSessionClosed = server.ErrSessionClosed
+)
+
+// NewServer builds a serving garbler from cfg; start it with
+// Server.Serve on any net.Listener and stop it with Server.Close.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Serve builds a server from cfg and starts serving ln on a background
+// goroutine, returning the Server handle — the one-call form of
+// NewServer + go Server.Serve for daemons with one listener. Keep the
+// handle: Server.Close is the graceful, connection-draining shutdown
+// and Server.Stats the counters; a listener that fails after startup
+// surfaces as an ordinary Accept error once Close observes it.
+func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
+	s, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(ln)
+	return s, nil
+}
+
+// Dial opens an evaluator session for circuitID against a serving
+// garbler at addr. The caller's circuit must be structurally identical
+// to the server's — its digest is verified during the handshake — and
+// each Session.Run then executes one full garbled run.
+func Dial(addr, circuitID string, c *Circuit) (*Session, error) {
+	return DialWith(addr, circuitID, c, RunOptions{})
+}
+
+// DialWith is Dial with explicit engine options. RunOptions.Plan (from
+// Precompile on the same circuit) gives the session a persistent
+// evaluation runner with zero steady-state allocations per run; share
+// one Precompiled across every session of a circuit.
+func DialWith(addr, circuitID string, c *Circuit, opts RunOptions) (*Session, error) {
+	sopts := server.Options{OT: ot.DH, Workers: opts.Workers, Pipelined: opts.Pipelined}
+	if opts.Plan != nil {
+		sopts.Plan = opts.Plan.plan
+	}
+	return server.Dial(addr, circuitID, c, sopts)
+}
+
+// CircuitDigest returns the canonical SHA-256 identity of a circuit —
+// the value the serving handshake checks.
+func CircuitDigest(c *Circuit) [32]byte { return circuit.Digest(c) }
 
 // VIPSuite returns the paper's eight VIP-Bench workloads at evaluation
 // scale; VIPSuiteSmall returns fast reduced-size variants.

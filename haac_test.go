@@ -1,6 +1,8 @@
 package haac
 
 import (
+	"errors"
+	"net"
 	"testing"
 
 	"haac/internal/circuit"
@@ -242,6 +244,80 @@ func TestFacadeReorderModes(t *testing.T) {
 		if val(out) != (200*3)&0xff {
 			t.Fatalf("%v: wrong product %d", mode, val(out))
 		}
+	}
+}
+
+// TestFacadeServing drives the serving layer through the public API
+// exactly as the README presents it: NewServer + Serve on a loopback
+// listener, Dial/DialWith sessions (one sharing a Precompiled plan),
+// repeated Session.Run calls checked against Eval, typed refusals, and
+// graceful Close.
+func TestFacadeServing(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(16)
+	y := b.EvaluatorInputs(16)
+	b.OutputWord(b.Add(x, y))
+	c := b.MustBuild()
+	g := bits(40000, 16)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, ServerConfig{
+		Circuits: []ServedCircuit{{
+			ID:      "add16",
+			Circuit: c,
+			Inputs:  func() []bool { return g },
+		}},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pre, err := Precompile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Eval(c, g, bits(30000, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]RunOptions{
+		"dense":   {},
+		"planned": {Plan: pre},
+	} {
+		sess, err := DialWith(ln.Addr().String(), "add16", c, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for run := 0; run < 2; run++ {
+			out, err := sess.Run(bits(30000, 16))
+			if err != nil {
+				t.Fatalf("%s run %d: %v", name, run, err)
+			}
+			for i := range plain {
+				if out[i] != plain[i] {
+					t.Fatalf("%s run %d: bit %d differs from Eval", name, run, i)
+				}
+			}
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+	}
+
+	if _, err := Dial(ln.Addr().String(), "nope", c); !errors.Is(err, ErrUnknownCircuit) {
+		t.Fatalf("unknown circuit: got %v", err)
+	}
+	if d := CircuitDigest(c); d == [32]byte{} {
+		t.Fatal("zero digest")
+	}
+	st := srv.Stats()
+	if st.RunsServed != 4 || st.CacheMisses != 1 {
+		t.Fatalf("stats = %+v, want 4 runs / 1 miss", st)
 	}
 }
 

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"haac/internal/circuit"
+	"haac/internal/ot"
+	"haac/internal/server"
+	"haac/internal/workloads"
+)
+
+// Serving experiment: the paper's setup-amortization premise at the
+// fleet level. One serving garbler answers 1, 4 and 16 concurrent
+// evaluator sessions over loopback TCP; the circuit's plan is built
+// once and shared, every session holds pooled runners, and both ends
+// run the plan engines. The experiment reports throughput (runs/sec —
+// reported, never asserted: single-CPU CI makes wall-clock comparisons
+// meaningless), steady-state heap allocations per run across the whole
+// process (client and server sides combined), transport bytes per run,
+// and the plan-cache counters proving the one-build property.
+
+// ServingRow reports one concurrency level.
+type ServingRow struct {
+	Sessions       int
+	RunsPerSession int
+	Runs           int // total measured runs
+	RunsPerSec     float64
+	AllocsPerRun   float64 // process-wide, both roles
+	BytesOutPerRun float64 // server->clients transport bytes
+	CacheHits      uint64
+	CacheMisses    uint64
+	// PlanBuilds counts process-wide circuit.NewPlan calls across the
+	// whole level: the server's one cache build plus the one plan the
+	// level's clients share — 2 regardless of session count.
+	PlanBuilds uint64
+}
+
+// servingWorkload picks the measured circuit per scale.
+func servingWorkload(s Scale) workloads.Workload {
+	if s == Paper {
+		return workloads.DotProduct(16, 32)
+	}
+	return workloads.DotProduct(4, 16)
+}
+
+// Serving measures the serving layer at 1, 4 and 16 concurrent
+// evaluator sessions.
+func (e *Env) Serving() ([]ServingRow, string, error) {
+	w := servingWorkload(e.Scale)
+	c := w.Build()
+	garblerBits, _ := w.Inputs(3)
+	runsPerSession := 24
+	if e.Scale == Paper {
+		runsPerSession = 8
+	}
+
+	var rows []ServingRow
+	for _, sessions := range []int{1, 4, 16} {
+		row, err := e.servingLevel(w, c, garblerBits, sessions, runsPerSession)
+		if err != nil {
+			return nil, "", fmt.Errorf("serving: %d sessions: %w", sessions, err)
+		}
+		rows = append(rows, row)
+	}
+
+	header := []string{"sessions", "runs", "runs/s", "allocs/run", "KB out/run", "cache hit/miss", "plan builds"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprint(r.Sessions),
+			fmt.Sprint(r.Runs),
+			fmt.Sprintf("%.0f", r.RunsPerSec),
+			fmt.Sprintf("%.1f", r.AllocsPerRun),
+			fmt.Sprintf("%.0f", r.BytesOutPerRun/1024),
+			fmt.Sprintf("%d/%d", r.CacheHits, r.CacheMisses),
+			fmt.Sprint(r.PlanBuilds),
+		})
+	}
+	s := table(header, cells)
+	s += fmt.Sprintf("\n(one haacd-style server, %s over loopback TCP, plan engines both ends;\n"+
+		"every concurrency level shows exactly 1 cache miss and 2 plan builds — one server-side\n"+
+		"shared by all N sessions, one client-side shared by the level's dialers; allocs/run\n"+
+		"counts the whole process, client sessions included; throughput is reported for shape\n"+
+		"only, not asserted)\n", w.Name)
+	return rows, s, nil
+}
+
+// servingLevel runs one concurrency level end to end and measures it.
+func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits []bool, sessions, runsPerSession int) (ServingRow, error) {
+	row := ServingRow{Sessions: sessions, RunsPerSession: runsPerSession, Runs: sessions * runsPerSession}
+
+	buildsBefore := circuit.PlanBuilds()
+	srv, err := server.New(server.Config{
+		Circuits: []server.CircuitSpec{{
+			ID:      w.Name,
+			Circuit: c,
+			Inputs:  func() []bool { return garblerBits },
+		}},
+		Seed: 17,
+	})
+	if err != nil {
+		return row, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+
+	// One client-side plan shared by every session of the level.
+	plan, err := circuit.NewPlan(c)
+	if err != nil {
+		return row, err
+	}
+	conns := make([]*server.Session, sessions)
+	for i := range conns {
+		sess, err := server.Dial(ln.Addr().String(), w.Name, c, server.Options{OT: ot.Insecure, Plan: plan})
+		if err != nil {
+			return row, err
+		}
+		defer sess.Close()
+		conns[i] = sess
+	}
+	_, evalBits := w.Inputs(5)
+	want, err := c.Eval(garblerBits, evalBits)
+	if err != nil {
+		return row, err
+	}
+
+	drive := func(sess *server.Session, runs int) error {
+		for r := 0; r < runs; r++ {
+			out, err := sess.Run(evalBits)
+			if err != nil {
+				return err
+			}
+			for j := range want {
+				if out[j] != want[j] {
+					return fmt.Errorf("output %d diverged from plaintext oracle", j)
+				}
+			}
+		}
+		return nil
+	}
+	// Warm-up: one run per session settles pools, runners and the plan
+	// cache before the measured window.
+	for _, sess := range conns {
+		if err := drive(sess, 1); err != nil {
+			return row, err
+		}
+	}
+
+	bytesBefore := srv.Stats().BytesOut
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for _, sess := range conns {
+		wg.Add(1)
+		go func(sess *server.Session) {
+			defer wg.Done()
+			if err := drive(sess, runsPerSession); err != nil {
+				errs <- err
+			}
+		}(sess)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	close(errs)
+	for err := range errs {
+		return row, err
+	}
+
+	total := float64(row.Runs)
+	row.RunsPerSec = total / elapsed.Seconds()
+	row.AllocsPerRun = float64(after.Mallocs-before.Mallocs) / total
+	row.BytesOutPerRun = float64(srv.Stats().BytesOut-bytesBefore) / total
+	st := srv.Stats()
+	row.CacheHits, row.CacheMisses = st.CacheHits, st.CacheMisses
+	row.PlanBuilds = circuit.PlanBuilds() - buildsBefore
+	return row, nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+func TestServing(t *testing.T) {
+	e := NewEnv(Small)
+	rows, s, err := e.Serving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	wantSessions := []int{1, 4, 16}
+	for i, r := range rows {
+		if r.Sessions != wantSessions[i] {
+			t.Fatalf("row %d: %d sessions, want %d", i, r.Sessions, wantSessions[i])
+		}
+		if r.Runs != r.Sessions*r.RunsPerSession || r.Runs == 0 {
+			t.Fatalf("row %d: inconsistent run counts %+v", i, r)
+		}
+		if r.RunsPerSec <= 0 || r.BytesOutPerRun <= 0 {
+			t.Fatalf("row %d: empty measurement %+v", i, r)
+		}
+		// The amortization property, asserted structurally (never by
+		// wall clock): every level builds the plan once server-side and
+		// once client-side, and all N sessions after the first hit.
+		if r.CacheMisses != 1 {
+			t.Fatalf("row %d: %d cache misses, want 1", i, r.CacheMisses)
+		}
+		if r.CacheHits != uint64(r.Sessions-1) {
+			t.Fatalf("row %d: %d cache hits, want %d", i, r.CacheHits, r.Sessions-1)
+		}
+		if r.PlanBuilds != 2 {
+			t.Fatalf("row %d: %d plan builds, want 2", i, r.PlanBuilds)
+		}
+	}
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+}

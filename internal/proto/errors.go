@@ -1,0 +1,38 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+)
+
+// ErrPeerClosed marks protocol failures caused by the remote party
+// closing or resetting the connection before the run finished. Both
+// roles wrap their transport errors with it, so callers distinguish an
+// abrupt disconnect (retry elsewhere, drop the session) from a protocol
+// or circuit mismatch with errors.Is(err, ErrPeerClosed).
+var ErrPeerClosed = errors.New("peer closed connection mid-protocol")
+
+// isPeerClosed reports whether err looks like the peer going away: EOF
+// in the middle of a fixed-size read, a closed pipe, or a TCP reset.
+func isPeerClosed(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// wrapPeer annotates a transport error with the protocol step it broke
+// and, when the cause is an abrupt disconnect, tags it with
+// ErrPeerClosed so it fails fast and typed instead of surfacing a raw
+// io.ReadFull error.
+func wrapPeer(step string, err error) error {
+	if isPeerClosed(err) {
+		return fmt.Errorf("proto: %s: %w (%v)", step, ErrPeerClosed, err)
+	}
+	return fmt.Errorf("proto: %s: %w", step, err)
+}

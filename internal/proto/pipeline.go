@@ -2,7 +2,6 @@ package proto
 
 import (
 	"bufio"
-	"fmt"
 	"io"
 	"sync"
 
@@ -30,7 +29,7 @@ func garblerPipelined(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, g
 		return nil, err
 	}
 	if err := w.Flush(); err != nil {
-		return nil, err
+		return nil, wrapPeer("flushing stream", err)
 	}
 
 	// Garble on a separate goroutine from here on: levels complete (and
@@ -70,7 +69,7 @@ func garblerPipelined(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, g
 			return abort(err)
 		}
 		if err := w.Flush(); err != nil {
-			return abort(err)
+			return abort(wrapPeer("flushing stream", err))
 		}
 	}
 	res := <-done
@@ -101,7 +100,7 @@ func evalSequential(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, opts
 			n = slabTables
 		}
 		if _, err := io.ReadFull(rd, slab[:n*gc.MaterialSize]); err != nil {
-			return nil, fmt.Errorf("proto: reading tables: %w", err)
+			return nil, wrapPeer("reading tables", err)
 		}
 		gc.DecodeMaterials(ms[:n], slab)
 		for i := 0; i < n; i++ {
@@ -123,16 +122,9 @@ func evalOffline(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTables
 	defer putArena(arena)
 	bp := getSlab(slabBytes)
 	defer putSlab(bp)
-	slab := *bp
-	for off := 0; off < nTables; off += slabTables {
-		n := nTables - off
-		if n > slabTables {
-			n = slabTables
-		}
-		if _, err := io.ReadFull(rd, slab[:n*gc.MaterialSize]); err != nil {
-			return nil, fmt.Errorf("proto: reading tables: %w", err)
-		}
-		gc.DecodeMaterials(tables[off:off+n], slab)
+	got := 0
+	if err := readTableStream(rd, *bp, tables, &got, nTables); err != nil {
+		return nil, err
 	}
 	return gc.ParallelEval(c, opts.Hasher, inputs, tables, opts.Workers)
 }
@@ -176,7 +168,7 @@ func evalPipelined(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTabl
 			}
 			if _, err := io.ReadFull(rd, slab[:n*gc.MaterialSize]); err != nil {
 				mu.Lock()
-				readErr = fmt.Errorf("proto: reading tables: %w", err)
+				readErr = wrapPeer("reading tables", err)
 				cond.Broadcast()
 				mu.Unlock()
 				return

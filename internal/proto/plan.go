@@ -2,7 +2,6 @@ package proto
 
 import (
 	"bufio"
-	"fmt"
 	"io"
 
 	"haac/internal/circuit"
@@ -39,7 +38,7 @@ func garblerPlanned(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, gar
 		return nil, err
 	}
 	if err := w.Flush(); err != nil {
-		return nil, err
+		return nil, wrapPeer("flushing stream", err)
 	}
 
 	if opts.Pipelined {
@@ -75,7 +74,7 @@ func garblerPlanned(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, gar
 				return abort(err)
 			}
 			if err := w.Flush(); err != nil {
-				return abort(err)
+				return abort(wrapPeer("flushing stream", err))
 			}
 		}
 		res := <-done
@@ -113,22 +112,8 @@ func evalPlanned(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTables
 	slab := *bp
 
 	got := 0
-	read := func(upto int) error {
-		for got < upto {
-			n := upto - got
-			if n > slabTables {
-				n = slabTables
-			}
-			if _, err := io.ReadFull(rd, slab[:n*gc.MaterialSize]); err != nil {
-				return fmt.Errorf("proto: reading tables: %w", err)
-			}
-			gc.DecodeMaterials(tables[got:got+n], slab)
-			got += n
-		}
-		return nil
-	}
 	out, err := pe.EvalStream(inputs, func(n int) ([]gc.Material, error) {
-		if err := read(n); err != nil {
+		if err := readTableStream(rd, slab, tables, &got, n); err != nil {
 			return nil, err
 		}
 		return tables[:got], nil
@@ -139,7 +124,7 @@ func evalPlanned(rd *bufio.Reader, c *circuit.Circuit, inputs []label.L, nTables
 	// The final watermark covers the whole stream whenever the circuit
 	// has AND gates, but keep the stream position honest regardless —
 	// the decode bits follow the tables on the same connection.
-	if err := read(nTables); err != nil {
+	if err := readTableStream(rd, slab, tables, &got, nTables); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -94,6 +94,45 @@ type header struct {
 	NTables  uint64
 }
 
+// headerSize is the wire size of the packed header.
+const headerSize = 43
+
+// encode packs the header into b (len >= headerSize), byte-identical to
+// binary.Write of the struct — TestHeaderCodecMatchesBinary pins the
+// equivalence. The manual codec exists so the reusable protocol
+// sessions can frame runs without binary's per-call reflection
+// allocations.
+func (h *header) encode(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], h.Magic)
+	b[4] = h.Version
+	b[5] = h.OTProto
+	le.PutUint64(b[6:], h.NGates)
+	le.PutUint64(b[14:], h.NWires)
+	le.PutUint32(b[22:], h.NGarbler)
+	le.PutUint32(b[26:], h.NEval)
+	b[30] = h.HasConst
+	le.PutUint32(b[31:], h.NOutputs)
+	le.PutUint64(b[35:], h.NTables)
+}
+
+// decodeHeader unpacks a header encoded by encode / binary.Write.
+func decodeHeader(b []byte) header {
+	le := binary.LittleEndian
+	return header{
+		Magic:    le.Uint32(b[0:]),
+		Version:  b[4],
+		OTProto:  b[5],
+		NGates:   le.Uint64(b[6:]),
+		NWires:   le.Uint64(b[14:]),
+		NGarbler: le.Uint32(b[22:]),
+		NEval:    le.Uint32(b[26:]),
+		HasConst: b[30],
+		NOutputs: le.Uint32(b[31:]),
+		NTables:  le.Uint64(b[35:]),
+	}
+}
+
 func headerFor(c *circuit.Circuit, opts Options) header {
 	and, _, _ := c.CountOps()
 	h := header{
@@ -139,7 +178,7 @@ func sendActiveInputs(w *bufio.Writer, c *circuit.Circuit, zeros []label.L, r la
 		zeros[c.Const1].Xor(r).Put(slab[(len(garblerBits)+1)*label.Size:])
 	}
 	if _, err := w.Write(slab); err != nil {
-		return fmt.Errorf("proto: sending garbler labels: %w", err)
+		return wrapPeer("sending garbler labels", err)
 	}
 	return nil
 }
@@ -156,7 +195,7 @@ func sendEvalLabels(conn io.ReadWriter, c *circuit.Circuit, zeros []label.L, r l
 		pairs[i] = ot.Pair{M0: zeros[off+i], M1: zeros[off+i].Xor(r)}
 	}
 	if err := ot.Send(conn, otp, pairs); err != nil {
-		return fmt.Errorf("proto: OT: %w", err)
+		return wrapPeer("OT", err)
 	}
 	return nil
 }
@@ -174,7 +213,7 @@ func writeTables(w *bufio.Writer, tables []gc.Material) error {
 		}
 		n := gc.EncodeMaterials(slab, tables[off:end])
 		if _, err := w.Write(slab[:n]); err != nil {
-			return fmt.Errorf("proto: streaming tables: %w", err)
+			return wrapPeer("streaming tables", err)
 		}
 	}
 	return nil
@@ -185,15 +224,15 @@ func writeTables(w *bufio.Writer, tables []gc.Material) error {
 func finishGarbler(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, garbled *gc.Garbled) ([]bool, error) {
 	for _, d := range garbled.DecodeBits() {
 		if err := w.WriteByte(byte(d)); err != nil {
-			return nil, err
+			return nil, wrapPeer("sending decode bits", err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		return nil, err
+		return nil, wrapPeer("sending decode bits", err)
 	}
 	res := make([]byte, len(c.Outputs))
 	if _, err := io.ReadFull(conn, res); err != nil {
-		return nil, fmt.Errorf("proto: reading result: %w", err)
+		return nil, wrapPeer("reading result", err)
 	}
 	out := make([]bool, len(res))
 	for i, b := range res {
@@ -222,8 +261,10 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 	w := bufio.NewWriterSize(conn, 1<<16)
 
 	h := headerFor(c, opts)
-	if err := binary.Write(w, binary.LittleEndian, h); err != nil {
-		return nil, fmt.Errorf("proto: writing header: %w", err)
+	var hb [headerSize]byte
+	h.encode(hb[:])
+	if _, err := w.Write(hb[:]); err != nil {
+		return nil, wrapPeer("writing header", err)
 	}
 
 	if opts.Plan != nil {
@@ -247,7 +288,7 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 		return nil, err
 	}
 	if err := w.Flush(); err != nil {
-		return nil, err
+		return nil, wrapPeer("flushing stream", err)
 	}
 	if err := sendEvalLabels(conn, c, zeros, r, opts.OT); err != nil {
 		return nil, err
@@ -269,7 +310,7 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 		if fill+gc.MaterialSize > slabBytes {
 			if _, err := w.Write(slab[:fill]); err != nil {
 				putSlab(bp)
-				return nil, fmt.Errorf("proto: streaming tables: %w", err)
+				return nil, wrapPeer("streaming tables", err)
 			}
 			fill = 0
 		}
@@ -277,7 +318,7 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 	if fill > 0 {
 		if _, err := w.Write(slab[:fill]); err != nil {
 			putSlab(bp)
-			return nil, fmt.Errorf("proto: streaming tables: %w", err)
+			return nil, wrapPeer("streaming tables", err)
 		}
 	}
 	putSlab(bp)
@@ -296,7 +337,7 @@ func garblerOffline(conn io.ReadWriter, w *bufio.Writer, c *circuit.Circuit, gar
 		return nil, err
 	}
 	if err := w.Flush(); err != nil {
-		return nil, err
+		return nil, wrapPeer("flushing stream", err)
 	}
 	if err := sendEvalLabels(conn, c, garbled.InputZeros, garbled.R, opts.OT); err != nil {
 		return nil, err
@@ -324,10 +365,11 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 	defer opts.Stats.end()
 	rd := bufio.NewReaderSize(conn, 1<<16)
 
-	var h header
-	if err := binary.Read(rd, binary.LittleEndian, &h); err != nil {
-		return nil, fmt.Errorf("proto: reading header: %w", err)
+	var hb [headerSize]byte
+	if _, err := io.ReadFull(rd, hb[:]); err != nil {
+		return nil, wrapPeer("reading header", err)
 	}
+	h := decodeHeader(hb[:])
 	want := headerFor(c, Options{OT: ot.Protocol(h.OTProto)})
 	want.OTProto = h.OTProto
 	if h != want {
@@ -346,7 +388,7 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 		slab := (*bp)[:nFixed*label.Size]
 		if _, err := io.ReadFull(rd, slab); err != nil {
 			putSlab(bp)
-			return nil, fmt.Errorf("proto: reading garbler labels: %w", err)
+			return nil, wrapPeer("reading garbler labels", err)
 		}
 		label.DecodeSlice(inputs[:c.GarblerInputs], slab)
 		if c.HasConst {
@@ -362,7 +404,7 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 		// packed: IKNP consumes the bitset words directly.
 		got, err := ot.ReceiveBitset(readWriter{rd, conn}, ot.Protocol(h.OTProto), ot.BitsetFromBools(evalBits))
 		if err != nil {
-			return nil, fmt.Errorf("proto: OT: %w", err)
+			return nil, wrapPeer("OT", err)
 		}
 		copy(inputs[c.GarblerInputs:], got)
 	}
@@ -385,7 +427,7 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 
 	decode := make([]byte, len(c.Outputs))
 	if _, err := io.ReadFull(rd, decode); err != nil {
-		return nil, fmt.Errorf("proto: reading decode bits: %w", err)
+		return nil, wrapPeer("reading decode bits", err)
 	}
 	result := make([]bool, len(outLabels))
 	res := make([]byte, len(outLabels))
@@ -395,7 +437,7 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 		res[i] = byte(v)
 	}
 	if _, err := conn.Write(res); err != nil {
-		return nil, fmt.Errorf("proto: sending result: %w", err)
+		return nil, wrapPeer("sending result", err)
 	}
 	return result, nil
 }

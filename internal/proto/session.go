@@ -1,0 +1,305 @@
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"haac/internal/circuit"
+	"haac/internal/gc"
+	"haac/internal/label"
+	"haac/internal/ot"
+)
+
+// Protocol sessions: persistent per-connection endpoints for serving
+// many runs of one circuit. RunGarbler/RunEvaluator pay per-run setup —
+// a bufio buffer, header reflection, result slices, a fresh engine —
+// which a process answering thousands of requests cannot afford.
+// A GarblerSession/EvaluatorSession pair owns that state for the
+// lifetime of a connection: the buffered writer/reader, the packed
+// header, OT pair scratch, result buffers and a reusable plan runner
+// all persist, so a steady-state run allocates nothing on either side
+// (OT for evaluator inputs is the one inherently allocating step — its
+// cost is public-key crypto, not transport).
+//
+// Each Run produces a byte stream identical to the one-shot entry
+// points, so a session peer interoperates with RunGarbler/RunEvaluator
+// on the other end of the wire.
+
+// GarblerSession is a reusable garbler endpoint bound to one connection
+// and one precompiled plan. It is not safe for concurrent use; a server
+// pools sessions and gives each connection its own.
+type GarblerSession struct {
+	opts  Options
+	c     *circuit.Circuit
+	rw    io.ReadWriter
+	w     *bufio.Writer
+	pg    *gc.PlanGarbler
+	src   *label.Source
+	emit  func(tables []gc.Material) error
+	hdr   [headerSize]byte
+	pairs []ot.Pair
+	res   []byte
+	out   []bool
+}
+
+// NewGarblerSession builds a garbler session over conn. Options.Plan is
+// required (serving always amortizes through plans); Workers selects
+// the plan engine width. Pipelined is rejected: the plan garbler
+// already streams each level's tables through the session writer as it
+// completes them. A zero Options.Seed draws a random one; the session's
+// label source then advances across runs, so every run garbles with
+// fresh labels.
+func NewGarblerSession(conn io.ReadWriter, opts Options) (*GarblerSession, error) {
+	if opts.Plan == nil {
+		return nil, fmt.Errorf("proto: GarblerSession requires Options.Plan")
+	}
+	if opts.Pipelined {
+		return nil, fmt.Errorf("proto: GarblerSession does not support Options.Pipelined (tables already stream per level)")
+	}
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	c := opts.Plan.Circuit
+	s := &GarblerSession{
+		opts:  opts,
+		c:     c,
+		w:     bufio.NewWriterSize(io.Discard, 1<<16),
+		pg:    gc.NewPlanGarbler(opts.Plan, opts.Hasher, planWorkers(opts)),
+		src:   label.NewSource(opts.Seed),
+		pairs: make([]ot.Pair, c.EvaluatorInputs),
+		res:   make([]byte, len(c.Outputs)),
+		out:   make([]bool, len(c.Outputs)),
+	}
+	s.emit = func(tables []gc.Material) error { return writeTables(s.w, tables) }
+	s.Reset(conn, opts.OT)
+	return s, nil
+}
+
+// Reset rebinds the session to a new connection and OT protocol,
+// keeping the plan runner, label source and scratch. A server pools
+// sessions per circuit and Resets one for each accepted connection.
+func (s *GarblerSession) Reset(conn io.ReadWriter, otp ot.Protocol) {
+	s.opts.OT = otp
+	s.rw = instrument(conn, &s.opts)
+	s.w.Reset(s.rw)
+	h := headerFor(s.c, s.opts)
+	h.encode(s.hdr[:])
+}
+
+// Close releases the plan runner's worker pool.
+func (s *GarblerSession) Close() { s.pg.Close() }
+
+// Run plays one full garbler run: header, active input labels, OT,
+// level-streamed tables, decode bits, and the evaluator's reported
+// result. The returned slice is reused by the next Run.
+func (s *GarblerSession) Run(garblerBits []bool) ([]bool, error) {
+	c := s.c
+	if len(garblerBits) != c.GarblerInputs {
+		return nil, fmt.Errorf("proto: got %d garbler bits, want %d", len(garblerBits), c.GarblerInputs)
+	}
+	if _, err := s.w.Write(s.hdr[:]); err != nil {
+		return nil, wrapPeer("writing header", err)
+	}
+	s.pg.Begin(s.src)
+	zeros, r := s.pg.InputZeros(), s.pg.R()
+	if err := sendActiveInputs(s.w, c, zeros, r, garblerBits); err != nil {
+		return nil, err
+	}
+	if err := s.w.Flush(); err != nil {
+		return nil, wrapPeer("sending garbler labels", err)
+	}
+	if c.EvaluatorInputs > 0 {
+		off := c.GarblerInputs
+		for i := range s.pairs {
+			s.pairs[i] = ot.Pair{M0: zeros[off+i], M1: zeros[off+i].Xor(r)}
+		}
+		if err := ot.Send(s.rw, s.opts.OT, s.pairs); err != nil {
+			return nil, wrapPeer("OT", err)
+		}
+	}
+	garbled, err := s.pg.Run(s.emit)
+	if err != nil {
+		return nil, err
+	}
+	for _, z := range garbled.OutputZeros {
+		if err := s.w.WriteByte(byte(z.Colour())); err != nil {
+			return nil, wrapPeer("sending decode bits", err)
+		}
+	}
+	if err := s.w.Flush(); err != nil {
+		return nil, wrapPeer("sending decode bits", err)
+	}
+	if _, err := io.ReadFull(s.rw, s.res); err != nil {
+		return nil, wrapPeer("reading result", err)
+	}
+	for i, b := range s.res {
+		s.out[i] = b == 1
+	}
+	return s.out, nil
+}
+
+// EvaluatorSession is a reusable evaluator endpoint bound to one
+// connection. With Options.Plan set it holds a persistent plan runner
+// and table arena, making steady-state runs allocation-free; without a
+// plan each Run uses the dense engine selected by Workers/Pipelined
+// (correct, but with the usual per-run allocations). Not safe for
+// concurrent use.
+type EvaluatorSession struct {
+	opts   Options
+	c      *circuit.Circuit
+	rw     io.ReadWriter
+	rd     *bufio.Reader
+	pe     *gc.PlanEvaluator
+	need   func(n int) ([]gc.Material, error)
+	tables []gc.Material
+	got    int
+	slab   []byte
+	want   header
+	hdrBuf [headerSize]byte
+	inputs []label.L
+	decode []byte
+	res    []byte
+	out    []bool
+}
+
+// NewEvaluatorSession builds an evaluator session for c over conn.
+func NewEvaluatorSession(conn io.ReadWriter, c *circuit.Circuit, opts Options) (*EvaluatorSession, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if opts.Plan != nil && opts.Plan.Circuit != c {
+		return nil, fmt.Errorf("proto: Options.Plan was compiled from a different circuit")
+	}
+	s := &EvaluatorSession{
+		opts:   opts,
+		c:      c,
+		rd:     bufio.NewReaderSize(bytesReaderNone{}, 1<<16),
+		want:   headerFor(c, opts),
+		inputs: make([]label.L, c.NumInputs()),
+		decode: make([]byte, len(c.Outputs)),
+		res:    make([]byte, len(c.Outputs)),
+		out:    make([]bool, len(c.Outputs)),
+	}
+	if opts.Plan != nil {
+		s.pe = gc.NewPlanEvaluator(opts.Plan, opts.Hasher, planWorkers(opts))
+		s.tables = make([]gc.Material, opts.Plan.Schedule.NumAND)
+		s.slab = make([]byte, slabBytes)
+		s.need = func(n int) ([]gc.Material, error) {
+			if err := s.readTables(n); err != nil {
+				return nil, err
+			}
+			return s.tables[:s.got], nil
+		}
+	}
+	s.Reset(conn)
+	return s, nil
+}
+
+// bytesReaderNone is the placeholder source a session reader is built
+// over before its first Reset.
+type bytesReaderNone struct{}
+
+func (bytesReaderNone) Read([]byte) (int, error) { return 0, io.EOF }
+
+// Reset rebinds the session to a new connection, keeping the runner and
+// scratch.
+func (s *EvaluatorSession) Reset(conn io.ReadWriter) {
+	s.rw = instrument(conn, &s.opts)
+	s.rd.Reset(s.rw)
+}
+
+// Close releases the plan runner's worker pool, if any.
+func (s *EvaluatorSession) Close() {
+	if s.pe != nil {
+		s.pe.Close()
+	}
+}
+
+// readTables pulls gate-order tables off the wire into the persistent
+// arena until upto of them have landed.
+func (s *EvaluatorSession) readTables(upto int) error {
+	return readTableStream(s.rd, s.slab, s.tables, &s.got, upto)
+}
+
+// Run plays one full evaluator run and returns the plaintext outputs
+// (also reported back to the garbler). The returned slice is reused by
+// the next Run.
+func (s *EvaluatorSession) Run(evalBits []bool) ([]bool, error) {
+	c := s.c
+	if len(evalBits) != c.EvaluatorInputs {
+		return nil, fmt.Errorf("proto: got %d evaluator bits, want %d", len(evalBits), c.EvaluatorInputs)
+	}
+	if _, err := io.ReadFull(s.rd, s.hdrBuf[:]); err != nil {
+		return nil, wrapPeer("reading header", err)
+	}
+	h := decodeHeader(s.hdrBuf[:])
+	want := s.want
+	want.OTProto = h.OTProto // the garbler picks; we follow
+	if h != want {
+		return nil, fmt.Errorf("proto: circuit mismatch: got %+v, want %+v", h, want)
+	}
+
+	nFixed := c.GarblerInputs
+	if c.HasConst {
+		nFixed += 2
+	}
+	if nFixed > 0 {
+		bp := getSlab(nFixed * label.Size)
+		slab := (*bp)[:nFixed*label.Size]
+		if _, err := io.ReadFull(s.rd, slab); err != nil {
+			putSlab(bp)
+			return nil, wrapPeer("reading garbler labels", err)
+		}
+		label.DecodeSlice(s.inputs[:c.GarblerInputs], slab)
+		if c.HasConst {
+			s.inputs[c.Const0] = label.FromBytes(slab[c.GarblerInputs*label.Size:])
+			s.inputs[c.Const1] = label.FromBytes(slab[(c.GarblerInputs+1)*label.Size:])
+		}
+		putSlab(bp)
+	}
+	if c.EvaluatorInputs > 0 {
+		got, err := ot.ReceiveBitset(readWriter{s.rd, s.rw}, ot.Protocol(h.OTProto), ot.BitsetFromBools(evalBits))
+		if err != nil {
+			return nil, wrapPeer("OT", err)
+		}
+		copy(s.inputs[c.GarblerInputs:], got)
+	}
+
+	var outLabels []label.L
+	var err error
+	if s.pe != nil {
+		s.got = 0
+		outLabels, err = s.pe.EvalStream(s.inputs, s.need)
+		if err == nil {
+			// Keep the stream position honest even for all-linear
+			// circuits; the decode bits follow on the same connection.
+			err = s.readTables(int(h.NTables))
+		}
+	} else {
+		switch {
+		case s.opts.Pipelined:
+			outLabels, err = evalPipelined(s.rd, c, s.inputs, int(h.NTables), s.opts)
+		case s.opts.Workers > 1:
+			outLabels, err = evalOffline(s.rd, c, s.inputs, int(h.NTables), s.opts)
+		default:
+			outLabels, err = evalSequential(s.rd, c, s.inputs, s.opts)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if _, err := io.ReadFull(s.rd, s.decode); err != nil {
+		return nil, wrapPeer("reading decode bits", err)
+	}
+	for i, l := range outLabels {
+		v := l.Colour() ^ int(s.decode[i])
+		s.out[i] = v == 1
+		s.res[i] = byte(v)
+	}
+	if _, err := s.rw.Write(s.res); err != nil {
+		return nil, wrapPeer("sending result", err)
+	}
+	return s.out, nil
+}

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"io"
 	"sync"
 
 	"haac/internal/gc"
@@ -73,3 +74,22 @@ func getArena(n int) (*gc.MaterialArena, []gc.Material) {
 }
 
 func putArena(a *gc.MaterialArena) { arenaPool.Put(a) }
+
+// readTableStream fills tables[*got:upto] from rd in slab-sized bulk
+// reads, decoding through slab (len >= slabBytes) and advancing *got.
+// It is the one table-ingest loop shared by the offline, planned and
+// session evaluators; abrupt peer disconnects surface as ErrPeerClosed.
+func readTableStream(rd io.Reader, slab []byte, tables []gc.Material, got *int, upto int) error {
+	for *got < upto {
+		n := upto - *got
+		if n > slabTables {
+			n = slabTables
+		}
+		if _, err := io.ReadFull(rd, slab[:n*gc.MaterialSize]); err != nil {
+			return wrapPeer("reading tables", err)
+		}
+		gc.DecodeMaterials(tables[*got:*got+n], slab)
+		*got += n
+	}
+	return nil
+}

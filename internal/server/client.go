@@ -1,0 +1,146 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"haac/internal/circuit"
+	"haac/internal/ot"
+	"haac/internal/proto"
+)
+
+// Options configures the client side of a session.
+type Options struct {
+	// OT selects the oblivious-transfer protocol for the session's runs
+	// (default ot.DH). The server honors the request.
+	OT ot.Protocol
+	// Workers is the evaluation engine width (0 or 1 = sequential).
+	Workers int
+	// Pipelined overlaps table transfer with evaluation (dense engine
+	// only; ignored when Plan is set — the plan stream already consumes
+	// tables level by level).
+	Pipelined bool
+	// Plan, when non-nil, must be compiled from the session's circuit;
+	// the client then evaluates through a persistent plan runner with
+	// zero steady-state allocations per run. Share one plan across every
+	// session of the same circuit.
+	Plan *circuit.Plan
+	// Stats, when non-nil, accumulates the session's transport bytes.
+	Stats *proto.Stats
+}
+
+// Session is a client (evaluator) session against a serving garbler.
+// Run may be called any number of times; the session amortizes its
+// transport buffers and evaluation engine across runs. Not safe for
+// concurrent use — open one session per goroutine; the server
+// multiplexes them.
+type Session struct {
+	conn     net.Conn
+	rw       io.ReadWriter
+	es       *proto.EvaluatorSession
+	numSlots int
+	frame    [1]byte
+	closed   bool
+}
+
+// Dial connects to a serving garbler at addr and opens a session for
+// the identified circuit. The client must hold a structurally identical
+// circuit: its digest is checked during the handshake.
+func Dial(addr, circuitID string, c *circuit.Circuit, opts Options) (*Session, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial: %w", err)
+	}
+	s, err := NewSession(conn, circuitID, c, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewSession performs the session handshake over an existing connection
+// and returns the ready session. On error the caller owns closing conn.
+func NewSession(conn net.Conn, circuitID string, c *circuit.Circuit, opts Options) (*Session, error) {
+	rw := proto.Instrument(conn, opts.Stats)
+	if err := writeHello(rw, hello{ot: opts.OT, id: circuitID, digest: circuit.Digest(c)}); err != nil {
+		return nil, err
+	}
+	numSlots, err := readReply(rw)
+	if err != nil {
+		return nil, err
+	}
+	es, err := proto.NewEvaluatorSession(rw, c, proto.Options{
+		OT:        opts.OT,
+		Workers:   opts.Workers,
+		Pipelined: opts.Pipelined && opts.Plan == nil,
+		Plan:      opts.Plan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{conn: conn, rw: rw, es: es, numSlots: int(numSlots)}, nil
+}
+
+// NumSlots reports the slot-arena width of the server's plan for this
+// circuit — evidence of the shared precompiled plan behind the session.
+func (s *Session) NumSlots() int { return s.numSlots }
+
+// Run executes one garbled run as the evaluator and returns the
+// plaintext outputs. The returned slice is reused by the next Run. A
+// server that is draining refuses with ErrDraining; a dead server
+// surfaces ErrSessionClosed.
+func (s *Session) Run(evalBits []bool) ([]bool, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.frame[0] = opRun
+	if _, err := s.rw.Write(s.frame[:]); err != nil {
+		return nil, s.fail(err)
+	}
+	if _, err := io.ReadFull(s.rw, s.frame[:]); err != nil {
+		return nil, s.fail(err)
+	}
+	switch s.frame[0] {
+	case ackGo:
+	case ackDraining:
+		s.shutdown()
+		return nil, ErrDraining
+	default:
+		return nil, s.fail(fmt.Errorf("unexpected ack byte %d", s.frame[0]))
+	}
+	out, err := s.es.Run(evalBits)
+	if err != nil {
+		if errors.Is(err, proto.ErrPeerClosed) {
+			return nil, s.fail(err)
+		}
+		s.shutdown()
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close says goodbye (best effort) and closes the connection.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.frame[0] = opBye
+	s.rw.Write(s.frame[:])
+	return s.shutdown()
+}
+
+// shutdown marks the session dead and closes its connection.
+func (s *Session) shutdown() error {
+	s.closed = true
+	s.es.Close()
+	return s.conn.Close()
+}
+
+// fail shuts the session down and wraps err as ErrSessionClosed.
+func (s *Session) fail(err error) error {
+	s.shutdown()
+	return fmt.Errorf("%w: %v", ErrSessionClosed, err)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that the race detector is active: it defeats
+// sync.Pool caching and instruments the runtime, so exact allocation
+// counts are meaningless and the AllocsPerRun regression tests skip.
+const raceEnabled = true

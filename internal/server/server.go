@@ -1,0 +1,399 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"haac/internal/circuit"
+	"haac/internal/gc"
+	"haac/internal/ot"
+	"haac/internal/proto"
+)
+
+// CircuitSpec registers one servable circuit.
+type CircuitSpec struct {
+	// ID names the circuit on the wire (1..maxIDLen bytes).
+	ID string
+	// Circuit is the servable circuit; its digest is computed at New and
+	// checked against every session's handshake.
+	Circuit *circuit.Circuit
+	// Inputs supplies the garbler's input bits for each run; nil means
+	// all-false. It is called once per run from the session's goroutine —
+	// return a reusable slice to keep runs allocation-free.
+	Inputs func() []bool
+}
+
+// Config configures a Server.
+type Config struct {
+	// Circuits is the set of servable circuits.
+	Circuits []CircuitSpec
+	// PlanCacheSize bounds the shared plan cache; 0 means one entry per
+	// registered circuit (nothing ever evicts).
+	PlanCacheSize int
+	// Workers is the plan-engine width used by each session's garbler
+	// runner (0 or 1 = sequential).
+	Workers int
+	// Hasher is the garbling hash (default: the re-keyed construction).
+	Hasher gc.Hasher
+	// Seed, when nonzero, derives deterministic per-runner label streams
+	// (tests); zero draws random seeds.
+	Seed uint64
+	// HandshakeTimeout bounds how long an accepted connection may take
+	// to complete its hello (default 10s, negative disables).
+	HandshakeTimeout time.Duration
+}
+
+// Stats is a point-in-time snapshot of a server's counters.
+type Stats struct {
+	// ActiveSessions is the number of currently open sessions.
+	ActiveSessions int
+	// SessionsTotal counts sessions ever accepted.
+	SessionsTotal uint64
+	// RunsServed counts completed garbled executions.
+	RunsServed uint64
+	// BytesOut / BytesIn are transport totals across all sessions.
+	BytesOut, BytesIn uint64
+	// Cache* are the shared plan cache counters.
+	CacheHits, CacheMisses, CacheEvictions uint64
+}
+
+// registered is a servable circuit plus its per-circuit runner pool.
+// The pool is an explicit free-list rather than a sync.Pool: runners
+// own worker-pool goroutines when Config.Workers > 1, so they must be
+// Closed deterministically at shutdown, never silently dropped by GC.
+type registered struct {
+	spec   CircuitSpec
+	digest [32]byte
+	zero   []bool // all-false garbler bits when spec.Inputs == nil
+
+	mu   sync.Mutex
+	free []*proto.GarblerSession // reused across sessions
+}
+
+// getRunner pops a pooled runner, if any.
+func (r *registered) getRunner() *proto.GarblerSession {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.free); n > 0 {
+		gs := r.free[n-1]
+		r.free = r.free[:n-1]
+		return gs
+	}
+	return nil
+}
+
+// putRunner returns a runner to the pool.
+func (r *registered) putRunner(gs *proto.GarblerSession) {
+	r.mu.Lock()
+	r.free = append(r.free, gs)
+	r.mu.Unlock()
+}
+
+// closeRunners releases every pooled runner's worker pool.
+func (r *registered) closeRunners() {
+	r.mu.Lock()
+	free := r.free
+	r.free = nil
+	r.mu.Unlock()
+	for _, gs := range free {
+		gs.Close()
+	}
+}
+
+// session tracks one accepted connection's drain state.
+type session struct {
+	conn net.Conn
+	idle bool // blocked waiting for the client's next op frame
+}
+
+// Server is a concurrent 2PC garbler service. Create with New, serve
+// one or more listeners with Serve, and stop with Close: shutdown is
+// graceful — listeners stop accepting, idle sessions are disconnected,
+// and in-flight runs complete before Close returns.
+type Server struct {
+	cfg   Config
+	reg   map[string]*registered
+	cache *PlanCache
+
+	net proto.Stats // byte counters shared by every session transport
+
+	mu        sync.Mutex
+	draining  bool
+	listeners map[net.Listener]struct{}
+	sessions  map[*session]struct{}
+	wg        sync.WaitGroup // one per live session
+
+	active        atomic.Int64
+	sessionsTotal atomic.Uint64
+	runs          atomic.Uint64
+	seq           atomic.Uint64 // per-runner deterministic seed sequence
+}
+
+// New validates the configuration and builds a server. Plans are not
+// compiled here: the first session of each circuit populates the cache.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Circuits) == 0 {
+		return nil, errors.New("server: no circuits registered")
+	}
+	if cfg.PlanCacheSize <= 0 {
+		cfg.PlanCacheSize = len(cfg.Circuits)
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       make(map[string]*registered, len(cfg.Circuits)),
+		cache:     NewPlanCache(cfg.PlanCacheSize),
+		listeners: make(map[net.Listener]struct{}),
+		sessions:  make(map[*session]struct{}),
+	}
+	for _, spec := range cfg.Circuits {
+		if spec.ID == "" || len(spec.ID) > maxIDLen {
+			return nil, fmt.Errorf("server: circuit id must be 1..%d bytes, got %q", maxIDLen, spec.ID)
+		}
+		if _, dup := s.reg[spec.ID]; dup {
+			return nil, fmt.Errorf("server: duplicate circuit id %q", spec.ID)
+		}
+		if spec.Circuit == nil {
+			return nil, fmt.Errorf("server: circuit %q is nil", spec.ID)
+		}
+		if err := spec.Circuit.Validate(); err != nil {
+			return nil, fmt.Errorf("server: circuit %q: %w", spec.ID, err)
+		}
+		s.reg[spec.ID] = &registered{
+			spec:   spec,
+			digest: circuit.Digest(spec.Circuit),
+			zero:   make([]bool, spec.Circuit.GarblerInputs),
+		}
+	}
+	return s, nil
+}
+
+// Digest returns the digest of the registered circuit, or false if the
+// id is unknown. Clients embed it in out-of-band configuration when
+// they cannot rebuild the circuit locally.
+func (s *Server) Digest(id string) ([32]byte, bool) {
+	r, ok := s.reg[id]
+	if !ok {
+		return [32]byte{}, false
+	}
+	return r.digest, true
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	cc := s.cache.Counters()
+	return Stats{
+		ActiveSessions: int(s.active.Load()),
+		SessionsTotal:  s.sessionsTotal.Load(),
+		RunsServed:     s.runs.Load(),
+		BytesOut:       uint64(s.net.BytesSent.Load()),
+		BytesIn:        uint64(s.net.BytesReceived.Load()),
+		CacheHits:      cc.Hits,
+		CacheMisses:    cc.Misses,
+		CacheEvictions: cc.Evictions,
+	}
+}
+
+// Cache returns the server's shared plan cache.
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Serve accepts sessions on ln until the server closes; it may be
+// called concurrently on several listeners. It returns nil after Close
+// and the listener's error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrDraining
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		st := &session{conn: conn}
+		s.sessions[st] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.active.Add(1)
+		s.sessionsTotal.Add(1)
+		go s.handle(st)
+	}
+}
+
+// Close drains the server: listeners stop accepting, idle sessions are
+// disconnected, in-flight runs finish, and then Close returns. Safe to
+// call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for ln := range s.listeners {
+			ln.Close()
+		}
+		for st := range s.sessions {
+			if st.idle {
+				st.conn.Close()
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	// Every session has returned its runner; release their worker pools.
+	for _, reg := range s.reg {
+		reg.closeRunners()
+	}
+	return nil
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// setIdle flips the session's drain state. Entering idle returns false
+// when the server is draining: the session must exit instead of
+// blocking on a read nobody will interrupt.
+func (s *Server) setIdle(st *session, idle bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idle && s.draining {
+		return false
+	}
+	st.idle = idle
+	return true
+}
+
+// handle runs one session: handshake, plan resolution, then the
+// run/ack loop until the client says goodbye, the connection dies, or
+// the server drains.
+func (s *Server) handle(st *session) {
+	conn := st.conn
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.sessions, st)
+		s.mu.Unlock()
+		s.active.Add(-1)
+		s.wg.Done()
+	}()
+
+	hsTimeout := s.cfg.HandshakeTimeout
+	if hsTimeout == 0 {
+		hsTimeout = 10 * time.Second
+	}
+	if hsTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(hsTimeout))
+	}
+	rw := proto.Instrument(conn, &s.net)
+
+	h, status, err := readHello(rw)
+	if err != nil {
+		return
+	}
+	var reg *registered
+	if status == statusOK {
+		if s.isDraining() {
+			status = statusDraining
+		} else if reg = s.reg[h.id]; reg == nil {
+			status = statusUnknownCircuit
+		} else if h.digest != reg.digest {
+			status = statusDigestMismatch
+		}
+	}
+	if status != statusOK {
+		writeReply(rw, status, 0, statusMsg(status, h.id))
+		return
+	}
+	plan, err := s.cache.Get(h.id, func() (*circuit.Plan, error) {
+		return circuit.NewPlan(reg.spec.Circuit)
+	})
+	if err != nil {
+		writeReply(rw, statusBadRequest, 0, err.Error())
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	gs, err := s.garblerFor(reg, plan, rw, h.ot)
+	if err != nil {
+		writeReply(rw, statusBadRequest, 0, err.Error())
+		return
+	}
+	defer reg.putRunner(gs)
+	if err := writeReply(rw, statusOK, uint32(plan.NumSlots), ""); err != nil {
+		return
+	}
+
+	var frame [1]byte
+	for {
+		if !s.setIdle(st, true) {
+			return // draining: the client's next Run sees a closed session
+		}
+		_, err := io.ReadFull(rw, frame[:])
+		s.setIdle(st, false)
+		if err != nil || frame[0] != opRun {
+			return // opBye, garbage, or a dead/force-closed connection
+		}
+		if s.isDraining() {
+			frame[0] = ackDraining
+			rw.Write(frame[:])
+			return
+		}
+		frame[0] = ackGo
+		if _, err := rw.Write(frame[:]); err != nil {
+			return
+		}
+		bits := reg.zero
+		if reg.spec.Inputs != nil {
+			bits = reg.spec.Inputs()
+		}
+		if _, err := gs.Run(bits); err != nil {
+			return
+		}
+		s.runs.Add(1)
+	}
+}
+
+// garblerFor takes a pooled garbler runner for the circuit, or builds
+// one bound to this connection. Pooled runners keep their plan engine,
+// label source and scratch, so session churn does not reallocate them.
+func (s *Server) garblerFor(reg *registered, plan *circuit.Plan, rw io.ReadWriter, otp ot.Protocol) (*proto.GarblerSession, error) {
+	if gs := reg.getRunner(); gs != nil {
+		gs.Reset(rw, otp)
+		return gs, nil
+	}
+	seed := s.cfg.Seed
+	if seed != 0 {
+		seed += s.seq.Add(1) // distinct deterministic stream per runner
+	}
+	return proto.NewGarblerSession(rw, proto.Options{
+		Plan:    plan,
+		Hasher:  s.cfg.Hasher,
+		Workers: s.cfg.Workers,
+		OT:      otp,
+		Seed:    seed,
+	})
+}

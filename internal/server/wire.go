@@ -1,0 +1,212 @@
+// Package server is the concurrent 2PC serving layer: one process plays
+// the garbler for many simultaneous evaluator connections, amortizing
+// precompiled execution plans, garbling runners and transport buffers
+// across sessions — the paper's setup-amortization premise applied at
+// the fleet level instead of per connection.
+//
+// A session opens with a versioned handshake framed ahead of the
+// protocol's existing byte-identical wire format:
+//
+//	client hello:  magic u32 ("HAAS") | version u8 | ot u8 | flags u8 |
+//	               idLen u16 | circuit id | sha256 digest [32]
+//	server reply:  status u8 | ok: numSlots u32
+//	                         | err: msgLen u16 | message
+//	per run:       op u8 (run/bye, client) | ack u8 (go/draining, server)
+//	               | <proto run stream, unchanged>
+//
+// The digest binds the session to a structurally identical circuit on
+// both sides (circuit.Digest), so a mismatched client fails typed at
+// handshake instead of failing mid-protocol. Circuits resolve through a
+// shared PlanCache: the first session of a circuit builds its plan
+// (singleflight), later sessions share it, and per-circuit pools of
+// proto.GarblerSession runners keep steady-state runs allocation-free
+// under concurrency.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"haac/internal/ot"
+)
+
+const (
+	helloMagic   = 0x53414148 // "HAAS" little-endian
+	helloVersion = 1
+
+	// helloFixedSize is the fixed prefix of the hello frame: magic u32 |
+	// version u8 | ot u8 | flags u8 | idLen u16.
+	helloFixedSize = 9
+
+	// maxIDLen bounds circuit identifiers on the wire.
+	maxIDLen = 1024
+
+	opRun = 1
+	opBye = 2
+
+	ackGo       = 0
+	ackDraining = 1
+
+	statusOK             = 0
+	statusUnknownCircuit = 1
+	statusDigestMismatch = 2
+	statusBadVersion     = 3
+	statusBadRequest     = 4
+	statusDraining       = 5
+)
+
+// Typed session errors. Handshake failures map one status each;
+// ErrSessionClosed marks a session whose connection died (including the
+// server force-closing idle sessions during shutdown).
+var (
+	ErrUnknownCircuit = errors.New("server: unknown circuit")
+	ErrDigestMismatch = errors.New("server: circuit digest mismatch")
+	ErrBadVersion     = errors.New("server: protocol version mismatch")
+	ErrBadRequest     = errors.New("server: bad request")
+	ErrDraining       = errors.New("server: draining")
+	ErrSessionClosed  = errors.New("server: session closed")
+)
+
+// hello is the decoded client handshake.
+type hello struct {
+	ot     ot.Protocol
+	id     string
+	digest [32]byte
+}
+
+// writeHello sends the client handshake frame.
+func writeHello(w io.Writer, h hello) error {
+	if h.id == "" || len(h.id) > maxIDLen {
+		return fmt.Errorf("server: circuit id must be 1..%d bytes, got %d", maxIDLen, len(h.id))
+	}
+	buf := make([]byte, helloFixedSize+len(h.id)+32)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], helloMagic)
+	buf[4] = helloVersion
+	buf[5] = byte(h.ot)
+	buf[6] = 0 // flags, reserved
+	le.PutUint16(buf[7:], uint16(len(h.id)))
+	copy(buf[helloFixedSize:], h.id)
+	copy(buf[helloFixedSize+len(h.id):], h.digest[:])
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("server: sending hello: %w", err)
+	}
+	return nil
+}
+
+// readHello reads and validates the client handshake. A non-zero status
+// (with a nil error) means the frame was structurally readable but must
+// be refused; an error means the connection itself is unusable.
+func readHello(r io.Reader) (h hello, status uint8, err error) {
+	var fixed [helloFixedSize]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return h, 0, fmt.Errorf("server: reading hello: %w", err)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(fixed[0:]) != helloMagic {
+		return h, statusBadRequest, nil
+	}
+	if fixed[4] != helloVersion {
+		return h, statusBadVersion, nil
+	}
+	h.ot = ot.Protocol(fixed[5])
+	switch h.ot {
+	case ot.DH, ot.Insecure, ot.IKNP:
+	default:
+		return h, statusBadRequest, nil
+	}
+	idLen := int(le.Uint16(fixed[7:]))
+	if idLen == 0 || idLen > maxIDLen {
+		return h, statusBadRequest, nil
+	}
+	rest := make([]byte, idLen+32)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return h, 0, fmt.Errorf("server: reading hello: %w", err)
+	}
+	h.id = string(rest[:idLen])
+	copy(h.digest[:], rest[idLen:])
+	return h, statusOK, nil
+}
+
+// writeReply sends the server's handshake verdict: numSlots on success,
+// a status and message otherwise.
+func writeReply(w io.Writer, status uint8, numSlots uint32, msg string) error {
+	if status == statusOK {
+		var buf [5]byte
+		buf[0] = statusOK
+		binary.LittleEndian.PutUint32(buf[1:], numSlots)
+		_, err := w.Write(buf[:])
+		return err
+	}
+	if len(msg) > 0xffff {
+		msg = msg[:0xffff]
+	}
+	buf := make([]byte, 3+len(msg))
+	buf[0] = status
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(msg)))
+	copy(buf[3:], msg)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readReply consumes the server's handshake verdict, mapping refusal
+// statuses to the package's typed errors.
+func readReply(r io.Reader) (numSlots uint32, err error) {
+	var b [5]byte
+	if _, err := io.ReadFull(r, b[:1]); err != nil {
+		return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+	}
+	if b[0] == statusOK {
+		if _, err := io.ReadFull(r, b[1:5]); err != nil {
+			return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+		}
+		return binary.LittleEndian.Uint32(b[1:5]), nil
+	}
+	status := b[0]
+	if _, err := io.ReadFull(r, b[1:3]); err != nil {
+		return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+	}
+	msg := make([]byte, binary.LittleEndian.Uint16(b[1:3]))
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+	}
+	base := statusErr(status)
+	if len(msg) > 0 {
+		return 0, fmt.Errorf("%w: %s", base, msg)
+	}
+	return 0, base
+}
+
+// statusErr maps a refusal status byte to its sentinel error.
+func statusErr(status uint8) error {
+	switch status {
+	case statusUnknownCircuit:
+		return ErrUnknownCircuit
+	case statusDigestMismatch:
+		return ErrDigestMismatch
+	case statusBadVersion:
+		return ErrBadVersion
+	case statusBadRequest:
+		return ErrBadRequest
+	case statusDraining:
+		return ErrDraining
+	}
+	return fmt.Errorf("server: handshake refused with unknown status %d", status)
+}
+
+// statusMsg is the human-readable detail sent alongside a refusal.
+func statusMsg(status uint8, id string) string {
+	switch status {
+	case statusUnknownCircuit:
+		return fmt.Sprintf("no circuit registered as %q", id)
+	case statusDigestMismatch:
+		return fmt.Sprintf("digest does not match the registered circuit %q", id)
+	case statusBadVersion:
+		return fmt.Sprintf("server speaks handshake version %d", helloVersion)
+	case statusDraining:
+		return "server is draining"
+	}
+	return ""
+}
