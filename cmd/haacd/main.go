@@ -6,13 +6,25 @@
 // SHA-256 digest of the circuit, so both sides must build the same
 // workload.
 //
-// Example — serve the millionaires' circuit and the small VIP suite:
+// Example — serve the millionaires' circuit and the small VIP suite
+// with the operations sidecar on :9090:
 //
-//	haacd -listen :9100 -workloads Million-8,DotProd-S -value 200
+//	haacd -listen :9100 -ops :9090 -workloads Million-8,DotProd-S -value 200
+//
+// The -ops listener speaks plain HTTP: GET /healthz answers 200 "ok"
+// while serving and 503 "draining" during shutdown, and GET /metrics
+// exports the serving counters (sessions, runs, bytes, plan-cache
+// hit/miss/eviction, refusals, run latency) in Prometheus text format.
+// -max-sessions sheds excess connections at handshake with a typed
+// busy refusal; -run-timeout bounds each garbled run so a stalled peer
+// cannot pin a session; -allow-insecure-ot must be set explicitly
+// before the daemon accepts sessions requesting the choice-revealing
+// insecure OT (benchmarks only — never enable it facing real peers).
 //
 // SIGINT/SIGTERM drain gracefully: listeners stop accepting, idle
-// sessions disconnect, in-flight runs finish, then the daemon reports
-// its serving totals and exits.
+// sessions disconnect, in-flight runs get -drain-timeout to finish
+// (stragglers are force-closed), then the daemon reports its serving
+// totals and exits.
 package main
 
 import (
@@ -48,10 +60,15 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	fs := flag.NewFlagSet("haacd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", "127.0.0.1:9100", "listen address")
+	ops := fs.String("ops", "", "operations HTTP address serving /healthz and /metrics (empty = disabled)")
 	names := fs.String("workloads", "all", "comma-separated workload names to serve (small VIP + micro suites), or all")
 	value := fs.Uint64("value", 0, "garbler input value, packed little-endian into each circuit's garbler bits")
 	workers := fs.Int("workers", 0, "garbling workers per session (0 = sequential)")
 	cacheSize := fs.Int("plan-cache", 0, "plan cache entries (0 = one per served circuit)")
+	maxSessions := fs.Int("max-sessions", 0, "concurrent session cap; excess connections are refused busy at handshake (0 = unlimited)")
+	runTimeout := fs.Duration("run-timeout", 0, "per-run deadline; a peer stalling mid-run past it loses the session (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "shutdown grace for in-flight runs before force-close (0 = 30s default)")
+	allowInsecure := fs.Bool("allow-insecure-ot", false, "accept sessions requesting the choice-revealing insecure OT (benchmarks only)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -65,9 +82,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		return 2
 	}
 	srv, err := server.New(server.Config{
-		Circuits:      specs,
-		PlanCacheSize: *cacheSize,
-		Workers:       *workers,
+		Circuits:        specs,
+		PlanCacheSize:   *cacheSize,
+		Workers:         *workers,
+		MaxSessions:     *maxSessions,
+		RunTimeout:      *runTimeout,
+		DrainTimeout:    *drainTimeout,
+		AllowInsecureOT: *allowInsecure,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -78,8 +99,20 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	var opsLn net.Listener
+	if *ops != "" {
+		opsLn, err = net.Listen("tcp", *ops)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 
 	fmt.Fprintf(stdout, "haacd: serving %d circuits on %s\n", len(specs), ln.Addr())
+	if opsLn != nil {
+		fmt.Fprintf(stdout, "haacd: ops endpoints on http://%s (/healthz, /metrics)\n", opsLn.Addr())
+	}
 	for _, spec := range specs {
 		d, _ := srv.Digest(spec.ID)
 		fmt.Fprintf(stdout, "  %-16s %d gates  sha256:%x\n", spec.ID, len(spec.Circuit.Gates), d[:8])
@@ -87,9 +120,22 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	// A nil channel never delivers, so the select below ignores the
+	// sidecar when -ops is unset.
+	var opsErrc chan error
+	if opsLn != nil {
+		opsErrc = make(chan error, 1)
+		go func() { opsErrc <- srv.ServeOps(opsLn) }()
+	}
 	select {
 	case err := <-errc:
 		// Serve only returns on its own when the listener breaks.
+		srv.Close()
+		fmt.Fprintln(stderr, err)
+		return 1
+	case err := <-opsErrc:
+		// ServeOps only returns on its own when the ops listener breaks.
+		srv.Close()
 		fmt.Fprintln(stderr, err)
 		return 1
 	case <-stop:
@@ -97,8 +143,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		srv.Close()
 		<-errc
 		st := srv.Stats()
-		fmt.Fprintf(stdout, "haacd: served %d runs over %d sessions (%d bytes out, cache %d/%d hit/miss)\n",
-			st.RunsServed, st.SessionsTotal, st.BytesOut, st.CacheHits, st.CacheMisses)
+		fmt.Fprintf(stdout, "haacd: served %d runs over %d sessions (%d bytes out, cache %d/%d hit/miss, %d refused, %d force-closed)\n",
+			st.RunsServed, st.SessionsTotal, st.BytesOut, st.CacheHits, st.CacheMisses, st.SessionsRefused, st.SessionsForceClosed)
 		return 0
 	}
 }

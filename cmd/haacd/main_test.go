@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"regexp"
 	"strings"
 	"sync"
@@ -125,6 +127,77 @@ func TestDaemonServesAndDrains(t *testing.T) {
 	}
 	if !strings.Contains(out, "sha256:") {
 		t.Errorf("circuit digest banner missing:\n%s", out)
+	}
+}
+
+var opsRe = regexp.MustCompile(`ops endpoints on http://(\S+)`)
+
+// TestDaemonOpsEndpoints: -ops brings up the loopback HTTP sidecar;
+// /healthz answers ok while serving and /metrics carries live counters.
+func TestDaemonOpsEndpoints(t *testing.T) {
+	addr, stdout, stop, code := startDaemon(t, []string{"-ops", "127.0.0.1:0", "-workloads", "Million-8", "-value", "200"})
+	defer stop()
+
+	m := opsRe.FindStringSubmatch(stdout.String())
+	if m == nil {
+		t.Fatalf("no ops banner:\n%s", stdout.String())
+	}
+	opsURL := "http://" + m[1]
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(opsURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if codeHZ, body := get("/healthz"); codeHZ != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q, want 200 ok", codeHZ, body)
+	}
+
+	// Drive one run so the scrape shows live counters.
+	var w workloads.Workload
+	for _, cand := range append(workloads.VIPSuiteSmall(), workloads.MicroSuite()...) {
+		if cand.Name == "Million-8" {
+			w = cand
+		}
+	}
+	c := w.Build()
+	sess, err := server.Dial(addr, "Million-8", c, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(make([]bool, c.EvaluatorInputs)); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := get("/metrics")
+		if strings.Contains(body, "haac_runs_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never showed the served run:\n%s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop()
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("daemon exit %d:\n%s", c, stdout.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not drain:\n%s", stdout.String())
 	}
 }
 

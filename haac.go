@@ -344,16 +344,24 @@ func RunEvaluatorWith(conn net.Conn, c *Circuit, evalBits []bool, opts RunOption
 // pooled runners, session handshakes bound to circuit digests, and
 // graceful connection-draining shutdown.
 type (
-	// Server is a concurrent 2PC garbler service.
+	// Server is a concurrent 2PC garbler service. Beyond Serve/Close it
+	// carries the fleet operability surface: ServeOps/OpsHandler expose
+	// /healthz and Prometheus /metrics over HTTP, and Stats snapshots
+	// the counters behind them.
 	Server = server.Server
 	// ServerConfig configures a Server (circuits, plan-cache bound,
-	// engine width, deterministic seeds for tests).
+	// engine width, deterministic seeds for tests) and its operational
+	// envelope: MaxSessions admission with typed ErrBusy shedding,
+	// RunTimeout per-run deadlines, DrainTimeout-bounded Close, and the
+	// AllowInsecureOT escape hatch for benchmarks.
 	ServerConfig = server.Config
 	// ServedCircuit registers one servable circuit with its garbler
 	// input supplier.
 	ServedCircuit = server.CircuitSpec
 	// ServerStats is a snapshot of a server's counters: active sessions,
-	// runs served, bytes out/in, plan-cache hits/misses/evictions.
+	// runs served/failed, cumulative run latency, bytes out/in,
+	// plan-cache hits/misses/evictions, and admission/drain refusal
+	// counts — the same numbers /metrics exports.
 	ServerStats = server.Stats
 	// Session is a client (evaluator) session against a serving garbler;
 	// call Run repeatedly, Close when done.
@@ -372,6 +380,9 @@ var (
 	ErrDigestMismatch = server.ErrDigestMismatch
 	// ErrDraining: the server is shutting down and refused the run.
 	ErrDraining = server.ErrDraining
+	// ErrBusy: the server is at ServerConfig.MaxSessions and shed the
+	// connection at handshake.
+	ErrBusy = server.ErrBusy
 	// ErrSessionClosed: the session's connection is gone.
 	ErrSessionClosed = server.ErrSessionClosed
 )

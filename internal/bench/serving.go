@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"runtime"
@@ -21,11 +22,18 @@ import (
 // reported, never asserted: single-CPU CI makes wall-clock comparisons
 // meaningless), steady-state heap allocations per run across the whole
 // process (client and server sides combined), transport bytes per run,
-// and the plan-cache counters proving the one-build property.
+// and the plan-cache counters proving the one-build property. A final
+// saturation level caps the server below the offered sessions: the
+// excess connections must shed with a typed busy refusal while the
+// admitted ones serve unperturbed — the load-shedding contract a
+// sharded front proxy routes around.
 
 // ServingRow reports one concurrency level.
 type ServingRow struct {
-	Sessions       int
+	Sessions       int // sessions offered (dial attempts)
+	MaxSessions    int // admission cap (0 = unlimited)
+	Admitted       int // sessions that passed admission
+	Refused        uint64
 	RunsPerSession int
 	Runs           int // total measured runs
 	RunsPerSec     float64
@@ -60,18 +68,33 @@ func (e *Env) Serving() ([]ServingRow, string, error) {
 
 	var rows []ServingRow
 	for _, sessions := range []int{1, 4, 16} {
-		row, err := e.servingLevel(w, c, garblerBits, sessions, runsPerSession)
+		row, err := e.servingLevel(w, c, garblerBits, sessions, 0, runsPerSession)
 		if err != nil {
 			return nil, "", fmt.Errorf("serving: %d sessions: %w", sessions, err)
 		}
 		rows = append(rows, row)
 	}
+	// Saturation: offer 16 sessions against an 8-session cap; the 8
+	// over-limit connections shed at handshake while the admitted 8
+	// serve every run.
+	row, err := e.servingLevel(w, c, garblerBits, 16, 8, runsPerSession)
+	if err != nil {
+		return nil, "", fmt.Errorf("serving: saturation: %w", err)
+	}
+	rows = append(rows, row)
 
-	header := []string{"sessions", "runs", "runs/s", "allocs/run", "KB out/run", "cache hit/miss", "plan builds"}
+	header := []string{"sessions", "cap", "admitted", "refused", "runs", "runs/s", "allocs/run", "KB out/run", "cache hit/miss", "plan builds"}
 	var cells [][]string
 	for _, r := range rows {
+		cap := "-"
+		if r.MaxSessions > 0 {
+			cap = fmt.Sprint(r.MaxSessions)
+		}
 		cells = append(cells, []string{
 			fmt.Sprint(r.Sessions),
+			cap,
+			fmt.Sprint(r.Admitted),
+			fmt.Sprint(r.Refused),
 			fmt.Sprint(r.Runs),
 			fmt.Sprintf("%.0f", r.RunsPerSec),
 			fmt.Sprintf("%.1f", r.AllocsPerRun),
@@ -82,16 +105,20 @@ func (e *Env) Serving() ([]ServingRow, string, error) {
 	}
 	s := table(header, cells)
 	s += fmt.Sprintf("\n(one haacd-style server, %s over loopback TCP, plan engines both ends;\n"+
-		"every concurrency level shows exactly 1 cache miss and 2 plan builds — one server-side\n"+
-		"shared by all N sessions, one client-side shared by the level's dialers; allocs/run\n"+
-		"counts the whole process, client sessions included; throughput is reported for shape\n"+
+		"every level shows exactly 1 cache miss and 2 plan builds — one server-side shared\n"+
+		"by all admitted sessions, one client-side shared by the level's dialers (sessions\n"+
+		"dial sequentially, so only completed builds count as hits); the capped row sheds\n"+
+		"its excess connections with a typed busy refusal at handshake; allocs/run counts\n"+
+		"the whole process, client sessions included; throughput is reported for shape\n"+
 		"only, not asserted)\n", w.Name)
 	return rows, s, nil
 }
 
 // servingLevel runs one concurrency level end to end and measures it.
-func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits []bool, sessions, runsPerSession int) (ServingRow, error) {
-	row := ServingRow{Sessions: sessions, RunsPerSession: runsPerSession, Runs: sessions * runsPerSession}
+// maxSessions > 0 caps admission below the offered session count; the
+// shed connections must fail typed with ErrBusy.
+func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits []bool, sessions, maxSessions, runsPerSession int) (ServingRow, error) {
+	row := ServingRow{Sessions: sessions, MaxSessions: maxSessions, RunsPerSession: runsPerSession}
 
 	buildsBefore := circuit.PlanBuilds()
 	srv, err := server.New(server.Config{
@@ -100,7 +127,9 @@ func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits
 			Circuit: c,
 			Inputs:  func() []bool { return garblerBits },
 		}},
-		Seed: 17,
+		Seed:            17,
+		MaxSessions:     maxSessions,
+		AllowInsecureOT: true,
 	})
 	if err != nil {
 		return row, err
@@ -121,15 +150,23 @@ func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits
 	if err != nil {
 		return row, err
 	}
-	conns := make([]*server.Session, sessions)
-	for i := range conns {
+	conns := make([]*server.Session, 0, sessions)
+	for i := 0; i < sessions; i++ {
 		sess, err := server.Dial(ln.Addr().String(), w.Name, c, server.Options{OT: ot.Insecure, Plan: plan})
+		if errors.Is(err, server.ErrBusy) {
+			continue // shed at admission; counted via SessionsRefused
+		}
 		if err != nil {
 			return row, err
 		}
 		defer sess.Close()
-		conns[i] = sess
+		conns = append(conns, sess)
 	}
+	if maxSessions > 0 && len(conns) != maxSessions {
+		return row, fmt.Errorf("admitted %d sessions under a cap of %d", len(conns), maxSessions)
+	}
+	row.Admitted = len(conns)
+	row.Runs = len(conns) * runsPerSession
 	_, evalBits := w.Inputs(5)
 	want, err := c.Eval(garblerBits, evalBits)
 	if err != nil {
@@ -188,6 +225,7 @@ func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits
 	row.BytesOutPerRun = float64(srv.Stats().BytesOut-bytesBefore) / total
 	st := srv.Stats()
 	row.CacheHits, row.CacheMisses = st.CacheHits, st.CacheMisses
+	row.Refused = st.SessionsRefused
 	row.PlanBuilds = circuit.PlanBuilds() - buildsBefore
 	return row, nil
 }

@@ -8,15 +8,15 @@ func TestServing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("got %d rows, want 3", len(rows))
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
 	}
-	wantSessions := []int{1, 4, 16}
+	wantSessions := []int{1, 4, 16, 16}
 	for i, r := range rows {
 		if r.Sessions != wantSessions[i] {
 			t.Fatalf("row %d: %d sessions, want %d", i, r.Sessions, wantSessions[i])
 		}
-		if r.Runs != r.Sessions*r.RunsPerSession || r.Runs == 0 {
+		if r.Runs != r.Admitted*r.RunsPerSession || r.Runs == 0 {
 			t.Fatalf("row %d: inconsistent run counts %+v", i, r)
 		}
 		if r.RunsPerSec <= 0 || r.BytesOutPerRun <= 0 {
@@ -24,16 +24,30 @@ func TestServing(t *testing.T) {
 		}
 		// The amortization property, asserted structurally (never by
 		// wall clock): every level builds the plan once server-side and
-		// once client-side, and all N sessions after the first hit.
+		// once client-side. Sessions dial sequentially, so the first
+		// one misses and every later one finds a completed build — the
+		// only kind that counts as a hit.
 		if r.CacheMisses != 1 {
 			t.Fatalf("row %d: %d cache misses, want 1", i, r.CacheMisses)
 		}
-		if r.CacheHits != uint64(r.Sessions-1) {
-			t.Fatalf("row %d: %d cache hits, want %d", i, r.CacheHits, r.Sessions-1)
+		if r.CacheHits != uint64(r.Admitted-1) {
+			t.Fatalf("row %d: %d cache hits, want %d", i, r.CacheHits, r.Admitted-1)
 		}
 		if r.PlanBuilds != 2 {
 			t.Fatalf("row %d: %d plan builds, want 2", i, r.PlanBuilds)
 		}
+	}
+	// Uncapped levels admit everything and refuse nothing.
+	for i, r := range rows[:3] {
+		if r.Admitted != r.Sessions || r.Refused != 0 || r.MaxSessions != 0 {
+			t.Fatalf("row %d: unexpected shedding %+v", i, r)
+		}
+	}
+	// The saturation level sheds exactly the over-cap connections while
+	// the admitted ones serve every run.
+	sat := rows[3]
+	if sat.MaxSessions != 8 || sat.Admitted != 8 || sat.Refused != 8 {
+		t.Fatalf("saturation row: %+v, want 8 admitted / 8 refused under cap 8", sat)
 	}
 	if s == "" {
 		t.Fatal("empty rendering")

@@ -15,6 +15,19 @@ import (
 // or circuit mismatch with errors.Is(err, ErrPeerClosed).
 var ErrPeerClosed = errors.New("peer closed connection mid-protocol")
 
+// ErrDeadline marks protocol failures caused by a connection deadline
+// expiring mid-run — the signal a serving layer's per-run timeout
+// raises against a peer that went silent. Typed separately from
+// ErrPeerClosed so operators can tell a stalled peer from a dead one.
+var ErrDeadline = errors.New("connection deadline exceeded mid-protocol")
+
+// isDeadline reports whether err is a network timeout (deadline
+// expiry).
+func isDeadline(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // isPeerClosed reports whether err looks like the peer going away: EOF
 // in the middle of a fixed-size read, a closed pipe, or a TCP reset.
 func isPeerClosed(err error) bool {
@@ -27,10 +40,13 @@ func isPeerClosed(err error) bool {
 }
 
 // wrapPeer annotates a transport error with the protocol step it broke
-// and, when the cause is an abrupt disconnect, tags it with
-// ErrPeerClosed so it fails fast and typed instead of surfacing a raw
-// io.ReadFull error.
+// and, when the cause is an abrupt disconnect or an expired deadline,
+// tags it with ErrPeerClosed/ErrDeadline so it fails fast and typed
+// instead of surfacing a raw io.ReadFull error.
 func wrapPeer(step string, err error) error {
+	if isDeadline(err) {
+		return fmt.Errorf("proto: %s: %w (%v)", step, ErrDeadline, err)
+	}
 	if isPeerClosed(err) {
 		return fmt.Errorf("proto: %s: %w (%v)", step, ErrPeerClosed, err)
 	}

@@ -85,8 +85,9 @@ func TestServingZeroSteadyStateAllocs(t *testing.T) {
 		g[i] = i%3 == 0
 	}
 	srv, err := New(Config{
-		Circuits: []CircuitSpec{{ID: "mul", Circuit: c, Inputs: func() []bool { return g }}},
-		Seed:     21,
+		Circuits:        []CircuitSpec{{ID: "mul", Circuit: c, Inputs: func() []bool { return g }}},
+		Seed:            21,
+		AllowInsecureOT: true,
 	})
 	if err != nil {
 		t.Fatal(err)

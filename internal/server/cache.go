@@ -32,6 +32,12 @@ type planEntry struct {
 	once sync.Once
 	plan *circuit.Plan
 	err  error
+	// ready flips true once the build completed successfully. Only a
+	// ready entry counts as a hit: a request that joins an in-flight (or
+	// subsequently failing) singleflight build did not find a warm plan,
+	// and hit/miss is the routing-quality signal a sharded proxy steers
+	// by, so it must record a miss.
+	ready atomic.Bool
 }
 
 // NewPlanCache returns a cache bounded to capacity entries (minimum 1).
@@ -49,16 +55,17 @@ func NewPlanCache(capacity int) *PlanCache {
 // Get returns the plan cached under key, building it with build on the
 // first request of a residency. Concurrent callers of a missing key
 // share one build; a failed build is not cached, so the next request
-// retries. Evicting a plan other sessions still execute is safe: plans
-// are immutable, the evicted entry just stops being shared.
+// retries. A request only counts as a hit when it finds a completed
+// build — joining an in-flight singleflight build, or sharing a build
+// that then fails, records a miss. Evicting a plan other sessions still
+// execute is safe: plans are immutable, the evicted entry just stops
+// being shared.
 func (pc *PlanCache) Get(key string, build func() (*circuit.Plan, error)) (*circuit.Plan, error) {
 	pc.mu.Lock()
 	e, ok := pc.entries[key]
 	if ok {
-		pc.hits.Add(1)
 		pc.lru.MoveToFront(e.elem)
 	} else {
-		pc.misses.Add(1)
 		e = &planEntry{key: key}
 		e.elem = pc.lru.PushFront(e)
 		pc.entries[key] = e
@@ -72,7 +79,17 @@ func (pc *PlanCache) Get(key string, build func() (*circuit.Plan, error)) (*circ
 	}
 	pc.mu.Unlock()
 
-	e.once.Do(func() { e.plan, e.err = build() })
+	if ok && e.ready.Load() {
+		pc.hits.Add(1)
+	} else {
+		pc.misses.Add(1)
+	}
+	e.once.Do(func() {
+		e.plan, e.err = build()
+		if e.err == nil {
+			e.ready.Store(true)
+		}
+	})
 	if e.err != nil {
 		pc.mu.Lock()
 		if cur, ok := pc.entries[key]; ok && cur == e {

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Operations sidecar: a plain HTTP endpoint exporting the server's
+// health and counters so a fleet scheduler can probe, scrape and drain
+// haacd processes. It deliberately shares nothing with the binary 2PC
+// listener — the session protocol stays byte-identical, and the ops
+// port can be firewalled to the control plane.
+//
+//	GET /healthz  -> 200 "ok" while serving, 503 "draining" after Close
+//	GET /metrics  -> Prometheus text exposition of Stats + plan cache
+//
+// Metric names are stable: dashboards and the future sharded proxy key
+// on them.
+
+// OpsHandler returns the HTTP handler serving /healthz and /metrics.
+// Use it directly to mount the endpoints into an existing mux; ServeOps
+// runs it on its own listener.
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.isDraining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(s.metricsText()))
+	})
+	return mux
+}
+
+// ServeOps serves the operations endpoints on ln until the server
+// closes; like Serve it returns nil after Close and the listener's
+// error otherwise. Run it on a separate goroutine next to Serve.
+func (s *Server) ServeOps(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrDraining
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	srv := &http.Server{Handler: s.OpsHandler(), ReadHeaderTimeout: 10 * time.Second}
+	err := srv.Serve(ln)
+	if s.isDraining() {
+		return nil
+	}
+	return err
+}
+
+// metricsText renders the Prometheus text exposition of the counters.
+func (s *Server) metricsText() string {
+	st := s.Stats()
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("haac_draining", "1 while the server is draining, 0 while serving.", b2f(s.isDraining()))
+	gauge("haac_sessions_active", "Currently open 2PC sessions.", float64(st.ActiveSessions))
+	counter("haac_sessions_total", "Sessions admitted since start.", float64(st.SessionsTotal))
+	counter("haac_sessions_refused_total", "Connections refused at the MaxSessions admission gate.", float64(st.SessionsRefused))
+	counter("haac_sessions_force_closed_total", "Sessions force-closed after the drain grace period.", float64(st.SessionsForceClosed))
+	counter("haac_runs_total", "Garbled runs served to completion.", float64(st.RunsServed))
+	counter("haac_runs_failed_total", "Runs that started but errored (dead peer, run deadline, protocol failure).", float64(st.RunsFailed))
+	counter("haac_run_seconds_total", "Wall-clock seconds spent in completed runs; divide by haac_runs_total for mean latency.", time.Duration(st.RunNanos).Seconds())
+	counter("haac_bytes_out_total", "Transport bytes sent across all sessions.", float64(st.BytesOut))
+	counter("haac_bytes_in_total", "Transport bytes received across all sessions.", float64(st.BytesIn))
+	counter("haac_plan_cache_hits_total", "Plan cache requests answered by a completed build.", float64(st.CacheHits))
+	counter("haac_plan_cache_misses_total", "Plan cache requests that built, joined an in-flight build, or shared a failed one.", float64(st.CacheMisses))
+	counter("haac_plan_cache_evictions_total", "Plans evicted by the LRU bound.", float64(st.CacheEvictions))
+	return b.String()
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

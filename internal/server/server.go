@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"haac/internal/circuit"
@@ -44,9 +45,36 @@ type Config struct {
 	// (tests); zero draws random seeds.
 	Seed uint64
 	// HandshakeTimeout bounds how long an accepted connection may take
-	// to complete its hello (default 10s, negative disables).
+	// to complete its hello (default 10s, negative disables). The same
+	// bound arms a write deadline around handshake replies, so a
+	// slowloris client that never drains its receive window cannot pin a
+	// handshake goroutine.
 	HandshakeTimeout time.Duration
+	// RunTimeout bounds each garbled run: the session connection carries
+	// a read+write deadline for the duration of a run, so a client that
+	// goes silent mid-OT or mid-table-stream errors the session out
+	// instead of pinning it forever (0 disables).
+	RunTimeout time.Duration
+	// DrainTimeout bounds Close: after listeners stop and idle sessions
+	// disconnect, in-flight sessions get this grace period to finish;
+	// survivors are then force-closed (counted in
+	// Stats.SessionsForceClosed) so Close provably returns. 0 means the
+	// 30s default; negative waits indefinitely (the pre-timeout
+	// behavior).
+	DrainTimeout time.Duration
+	// MaxSessions caps concurrently admitted sessions; excess
+	// connections are refused at handshake with a typed ErrBusy and
+	// counted in Stats.SessionsRefused (0 = unlimited).
+	MaxSessions int
+	// AllowInsecureOT permits sessions requesting ot.Insecure, which
+	// reveals the evaluator's choice bits on the wire. Off by default:
+	// a remote peer must not be able to downgrade the OT; enable it only
+	// for benchmarks and tests.
+	AllowInsecureOT bool
 }
+
+// defaultDrainTimeout bounds Close when Config.DrainTimeout is zero.
+const defaultDrainTimeout = 30 * time.Second
 
 // Stats is a point-in-time snapshot of a server's counters.
 type Stats struct {
@@ -60,6 +88,19 @@ type Stats struct {
 	BytesOut, BytesIn uint64
 	// Cache* are the shared plan cache counters.
 	CacheHits, CacheMisses, CacheEvictions uint64
+	// SessionsRefused counts connections refused at handshake because
+	// the server was at Config.MaxSessions.
+	SessionsRefused uint64
+	// SessionsForceClosed counts in-flight sessions the drain
+	// force-closed after Config.DrainTimeout expired.
+	SessionsForceClosed uint64
+	// RunsFailed counts runs that started but errored (dead peers, run
+	// deadlines, protocol failures).
+	RunsFailed uint64
+	// RunNanos accumulates the wall-clock duration of completed runs;
+	// RunNanos/RunsServed is the mean serve latency, and the pair
+	// exports as a Prometheus summary (_sum/_count).
+	RunNanos uint64
 }
 
 // registered is a servable circuit plus its per-circuit runner pool.
@@ -131,6 +172,10 @@ type Server struct {
 	active        atomic.Int64
 	sessionsTotal atomic.Uint64
 	runs          atomic.Uint64
+	runsFailed    atomic.Uint64
+	runNanos      atomic.Uint64
+	refused       atomic.Uint64
+	forceClosed   atomic.Uint64
 	seq           atomic.Uint64 // per-runner deterministic seed sequence
 }
 
@@ -195,6 +240,11 @@ func (s *Server) Stats() Stats {
 		CacheHits:      cc.Hits,
 		CacheMisses:    cc.Misses,
 		CacheEvictions: cc.Evictions,
+
+		SessionsRefused:     s.refused.Load(),
+		SessionsForceClosed: s.forceClosed.Load(),
+		RunsFailed:          s.runsFailed.Load(),
+		RunNanos:            s.runNanos.Load(),
 	}
 }
 
@@ -219,18 +269,41 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		ln.Close()
 	}()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if s.isDraining() {
 				return nil
 			}
+			if isTransientAccept(err) {
+				// One flaky accept (timeout, aborted connection, fd
+				// pressure) must not tear down the whole listener: back
+				// off with a cap and keep accepting.
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				time.Sleep(backoff)
+				continue
+			}
 			return err
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
 			conn.Close()
+			continue
+		}
+		if s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions) {
+			// Admission control: decide in the accept loop, where the
+			// session count is observed serially, so exactly the excess
+			// connections are shed.
+			s.mu.Unlock()
+			s.refused.Add(1)
+			go s.refuse(conn)
 			continue
 		}
 		st := &session{conn: conn}
@@ -243,9 +316,48 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// isTransientAccept reports whether an Accept error is worth retrying:
+// network timeouts, temporary resource exhaustion, or a connection the
+// peer aborted between SYN and accept.
+func isTransientAccept(err error) bool {
+	if errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	// net.Error.Temporary is deprecated (ill-defined for general errors)
+	// but remains exactly the signal listeners raise for retryable
+	// accept failures; assert the method structurally to use it.
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
+}
+
+// refuse completes the handshake of an over-limit connection with
+// statusBusy. The hello is read first — on synchronous transports the
+// client blocks in its hello write until the server consumes it, so
+// replying before reading would deadlock both ends.
+func (s *Server) refuse(conn net.Conn) {
+	defer conn.Close()
+	hsTimeout := s.cfg.HandshakeTimeout
+	if hsTimeout == 0 {
+		hsTimeout = 10 * time.Second
+	}
+	if hsTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(hsTimeout))
+	}
+	if _, _, err := readHello(conn); err != nil {
+		return
+	}
+	writeReply(conn, statusBusy, 0, statusMsg(statusBusy, ""))
+}
+
 // Close drains the server: listeners stop accepting, idle sessions are
-// disconnected, in-flight runs finish, and then Close returns. Safe to
-// call more than once.
+// disconnected, and in-flight runs get Config.DrainTimeout to finish
+// before their connections are force-closed — so Close returns within a
+// bound even against a client stalled mid-run. Safe to call more than
+// once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if !s.draining {
@@ -260,12 +372,44 @@ func (s *Server) Close() error {
 		}
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	s.awaitSessions()
 	// Every session has returned its runner; release their worker pools.
 	for _, reg := range s.reg {
 		reg.closeRunners()
 	}
 	return nil
+}
+
+// awaitSessions waits for every session goroutine, force-closing
+// survivors once the drain grace period runs out. Closing a session's
+// connection errors out whatever read or write it is blocked on, so the
+// second wait is bounded by I/O teardown, not by the peer.
+func (s *Server) awaitSessions() {
+	dt := s.cfg.DrainTimeout
+	if dt == 0 {
+		dt = defaultDrainTimeout
+	}
+	if dt < 0 {
+		s.wg.Wait()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return
+	case <-time.After(dt):
+	}
+	s.mu.Lock()
+	for st := range s.sessions {
+		st.conn.Close()
+		s.forceClosed.Add(1)
+	}
+	s.mu.Unlock()
+	<-done
 }
 
 func (s *Server) isDraining() bool {
@@ -308,6 +452,15 @@ func (s *Server) handle(st *session) {
 	if hsTimeout > 0 {
 		conn.SetReadDeadline(time.Now().Add(hsTimeout))
 	}
+	// reply arms a fresh write deadline around each handshake verdict so
+	// a slowloris client that never drains its receive window cannot pin
+	// this goroutine mid-write.
+	reply := func(w io.Writer, status uint8, numSlots uint32, msg string) error {
+		if hsTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(hsTimeout))
+		}
+		return writeReply(w, status, numSlots, msg)
+	}
 	rw := proto.Instrument(conn, &s.net)
 
 	h, status, err := readHello(rw)
@@ -315,9 +468,13 @@ func (s *Server) handle(st *session) {
 		return
 	}
 	var reg *registered
+	msg := ""
 	if status == statusOK {
 		if s.isDraining() {
 			status = statusDraining
+		} else if h.ot == ot.Insecure && !s.cfg.AllowInsecureOT {
+			status = statusBadRequest
+			msg = "insecure OT refused (server runs without AllowInsecureOT)"
 		} else if reg = s.reg[h.id]; reg == nil {
 			status = statusUnknownCircuit
 		} else if h.digest != reg.digest {
@@ -325,27 +482,30 @@ func (s *Server) handle(st *session) {
 		}
 	}
 	if status != statusOK {
-		writeReply(rw, status, 0, statusMsg(status, h.id))
+		if msg == "" {
+			msg = statusMsg(status, h.id)
+		}
+		reply(rw, status, 0, msg)
 		return
 	}
 	plan, err := s.cache.Get(h.id, func() (*circuit.Plan, error) {
 		return circuit.NewPlan(reg.spec.Circuit)
 	})
 	if err != nil {
-		writeReply(rw, statusBadRequest, 0, err.Error())
+		reply(rw, statusBadRequest, 0, err.Error())
 		return
 	}
-	conn.SetReadDeadline(time.Time{})
 
 	gs, err := s.garblerFor(reg, plan, rw, h.ot)
 	if err != nil {
-		writeReply(rw, statusBadRequest, 0, err.Error())
+		reply(rw, statusBadRequest, 0, err.Error())
 		return
 	}
 	defer reg.putRunner(gs)
-	if err := writeReply(rw, statusOK, uint32(plan.NumSlots), ""); err != nil {
+	if err := reply(rw, statusOK, uint32(plan.NumSlots), ""); err != nil {
 		return
 	}
+	conn.SetDeadline(time.Time{})
 
 	var frame [1]byte
 	for {
@@ -370,10 +530,22 @@ func (s *Server) handle(st *session) {
 		if reg.spec.Inputs != nil {
 			bits = reg.spec.Inputs()
 		}
+		// The run deadline covers the whole garbled execution — labels,
+		// OT, table stream, result — so a peer that stalls mid-run
+		// errors the session out instead of outliving the drain.
+		if rt := s.cfg.RunTimeout; rt > 0 {
+			conn.SetDeadline(time.Now().Add(rt))
+		}
+		start := time.Now()
 		if _, err := gs.Run(bits); err != nil {
+			s.runsFailed.Add(1)
 			return
 		}
+		if s.cfg.RunTimeout > 0 {
+			conn.SetDeadline(time.Time{})
+		}
 		s.runs.Add(1)
+		s.runNanos.Add(uint64(time.Since(start)))
 	}
 }
 

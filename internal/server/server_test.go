@@ -54,7 +54,8 @@ func TestConcurrentSessionsByteIdentical(t *testing.T) {
 			Circuit: c,
 			Inputs:  func() []bool { return garblerBits },
 		}},
-		Seed: 42,
+		Seed:            42,
+		AllowInsecureOT: true,
 	})
 
 	const sessions = 16
@@ -105,11 +106,15 @@ func TestConcurrentSessionsByteIdentical(t *testing.T) {
 	// Drain so every session goroutine has finalized its counters.
 	srv.Close()
 	st := srv.Stats()
-	if st.CacheMisses != 1 {
-		t.Errorf("cache misses = %d, want exactly 1 (one plan build per circuit)", st.CacheMisses)
+	// Sessions racing the cold start that join the in-flight build count
+	// as misses (only completed builds are hits), so the exact hit/miss
+	// split depends on scheduling — but they always sum to the session
+	// count, and the singleflight property (one build) is exact.
+	if st.CacheMisses < 1 {
+		t.Errorf("cache misses = %d, want >= 1", st.CacheMisses)
 	}
-	if st.CacheHits != sessions-1 {
-		t.Errorf("cache hits = %d, want %d", st.CacheHits, sessions-1)
+	if st.CacheHits+st.CacheMisses != sessions {
+		t.Errorf("cache hits+misses = %d+%d, want %d lookups", st.CacheHits, st.CacheMisses, sessions)
 	}
 	if got := circuit.PlanBuilds() - buildsBefore; got != 1 {
 		t.Errorf("plans built = %d, want exactly 1", got)
@@ -138,7 +143,8 @@ func TestMultipleCircuitsAndOTProtocols(t *testing.T) {
 			{ID: w1.Name, Circuit: c1, Inputs: func() []bool { return g1 }},
 			{ID: w2.Name, Circuit: c2, Inputs: func() []bool { return g2 }},
 		},
-		Seed: 7,
+		Seed:            7,
+		AllowInsecureOT: true,
 	})
 	for _, tc := range []struct {
 		w    workloads.Workload
@@ -236,8 +242,9 @@ func TestClientSidePlan(t *testing.T) {
 	c := w.Build()
 	g, _ := w.Inputs(2)
 	_, addr := startServer(t, Config{
-		Circuits: []CircuitSpec{{ID: "dp", Circuit: c, Inputs: func() []bool { return g }}},
-		Seed:     3,
+		Circuits:        []CircuitSpec{{ID: "dp", Circuit: c, Inputs: func() []bool { return g }}},
+		Seed:            3,
+		AllowInsecureOT: true,
 	})
 	p, err := circuit.NewPlan(c)
 	if err != nil {
@@ -273,8 +280,9 @@ func TestGracefulClose(t *testing.T) {
 	c := w.Build()
 	g, _ := w.Inputs(1)
 	srv, err := New(Config{
-		Circuits: []CircuitSpec{{ID: "add", Circuit: c, Inputs: func() []bool { return g }}},
-		Seed:     9,
+		Circuits:        []CircuitSpec{{ID: "add", Circuit: c, Inputs: func() []bool { return g }}},
+		Seed:            9,
+		AllowInsecureOT: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -338,7 +346,8 @@ func TestSessionByeEndsCleanly(t *testing.T) {
 	w := workloads.AddN(8)
 	c := w.Build()
 	srv, addr := startServer(t, Config{
-		Circuits: []CircuitSpec{{ID: "add", Circuit: c}},
+		Circuits:        []CircuitSpec{{ID: "add", Circuit: c}},
+		AllowInsecureOT: true,
 	})
 	sess, err := Dial(addr, "add", c, Options{OT: ot.Insecure})
 	if err != nil {
@@ -421,9 +430,13 @@ func TestPlanCacheLRUAndSingleflight(t *testing.T) {
 			t.Fatal("concurrent getters received different plans")
 		}
 	}
+	// Only completed builds count as hits: getters that joined the
+	// in-flight build recorded misses, so the split is scheduling-
+	// dependent, but every lookup is counted and at least the builder
+	// missed.
 	cc := pc.Counters()
-	if cc.Misses != 1 || cc.Hits != 7 {
-		t.Fatalf("counters = %+v, want 1 miss / 7 hits", cc)
+	if cc.Misses < 1 || cc.Hits+cc.Misses != 8 {
+		t.Fatalf("counters = %+v, want >=1 miss and 8 lookups", cc)
 	}
 
 	// LRU: touching a, then adding b and c evicts... a stays (recently
@@ -476,9 +489,10 @@ func TestParallelRunnersReleasedOnClose(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
 	srv, err := New(Config{
-		Circuits: []CircuitSpec{{ID: "dp", Circuit: c, Inputs: func() []bool { return g }}},
-		Workers:  4,
-		Seed:     13,
+		Circuits:        []CircuitSpec{{ID: "dp", Circuit: c, Inputs: func() []bool { return g }}},
+		Workers:         4,
+		Seed:            13,
+		AllowInsecureOT: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -529,7 +543,7 @@ func TestServerEvictionUnderSessions(t *testing.T) {
 		circs[w.Name] = c
 		specs = append(specs, CircuitSpec{ID: w.Name, Circuit: c})
 	}
-	srv, addr := startServer(t, Config{Circuits: specs, PlanCacheSize: 1, Seed: 4})
+	srv, addr := startServer(t, Config{Circuits: specs, PlanCacheSize: 1, Seed: 4, AllowInsecureOT: true})
 	for round := 0; round < 2; round++ {
 		for _, w := range ws {
 			c := circs[w.Name]

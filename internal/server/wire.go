@@ -55,6 +55,7 @@ const (
 	statusBadVersion     = 3
 	statusBadRequest     = 4
 	statusDraining       = 5
+	statusBusy           = 6
 )
 
 // Typed session errors. Handshake failures map one status each;
@@ -66,6 +67,7 @@ var (
 	ErrBadVersion     = errors.New("server: protocol version mismatch")
 	ErrBadRequest     = errors.New("server: bad request")
 	ErrDraining       = errors.New("server: draining")
+	ErrBusy           = errors.New("server: session limit reached")
 	ErrSessionClosed  = errors.New("server: session closed")
 )
 
@@ -192,6 +194,8 @@ func statusErr(status uint8) error {
 		return ErrBadRequest
 	case statusDraining:
 		return ErrDraining
+	case statusBusy:
+		return ErrBusy
 	}
 	return fmt.Errorf("server: handshake refused with unknown status %d", status)
 }
@@ -207,6 +211,8 @@ func statusMsg(status uint8, id string) string {
 		return fmt.Sprintf("server speaks handshake version %d", helloVersion)
 	case statusDraining:
 		return "server is draining"
+	case statusBusy:
+		return "server is at its session limit"
 	}
 	return ""
 }
