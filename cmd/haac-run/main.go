@@ -12,7 +12,9 @@
 //
 // A third role, client, opens a session against a haacd serving daemon
 // instead of a peer process and can execute many runs over one
-// connection, amortizing the server's precompiled plan:
+// connection, amortizing the server's precompiled plan; -retries makes
+// the session self-healing (transparent reconnect and replay against a
+// restarted or flaky daemon):
 //
 //	haacd -workloads Million-8 -value 200 &
 //	haac-run -role client -addr 127.0.0.1:9100 -workload Million-8 -value 150 -runs 8
@@ -52,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "parallel garbling/eval workers (0 = sequential engine)")
 	pipelined := fs.Bool("pipelined", false, "stream tables level-by-level, overlapping garble/transfer/eval")
 	runs := fs.Int("runs", 1, "client role: number of runs over the session")
+	retries := fs.Int("retries", 0, "client role: max attempts per dial/run (>1 enables transparent reconnect and replay)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "client role: base backoff between retries (doubles per attempt, 0 = 50ms default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -87,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if strings.EqualFold(*role, "client") {
 		return runClient(stdout, stderr, *addr, w, *value, *runs, server.Options{
 			OT: otp, Workers: *workers, Pipelined: *pipelined,
+			Retry: server.RetryPolicy{MaxAttempts: *retries, BaseBackoff: *retryBackoff},
 		})
 	}
 
@@ -163,6 +168,10 @@ func runClient(stdout, stderr io.Writer, addr string, w workloads.Workload, valu
 		}
 		fmt.Fprintf(stdout, "run %d result bits: %v\n", i+1, out)
 		fmt.Fprintf(stdout, "run %d result as integer: %d\n", i+1, circuit.BoolsToUint(out))
+	}
+	if st := sess.Stats(); st.Retries > 0 || st.Reconnects > 0 || st.DialFailures > 0 {
+		fmt.Fprintf(stdout, "client: healed %d retried runs over %d reconnects (%d failed redials)\n",
+			st.Retries, st.Reconnects, st.DialFailures)
 	}
 	return 0
 }

@@ -131,6 +131,7 @@ func TestRunClientMode(t *testing.T) {
 	code := run([]string{
 		"-role", "client", "-addr", ln.Addr().String(),
 		"-workload", "Million-8", "-value", "150", "-runs", "3",
+		"-retries", "3", "-retry-backoff", "1ms",
 	}, &out, &errw)
 	if code != 0 {
 		t.Fatalf("client exit %d:\n%s%s", code, out.String(), errw.String())

@@ -8,8 +8,8 @@
 //	haacbench [-scale paper|small] [-experiments table2,fig6,...]
 //
 // Experiments: table1 table2 table3 table4 table5 fig6 fig7 fig8 fig9
-// fig10 garbler rekey parallel ot transport memory serving ablation
-// multicore segsweep coupling (or "all"). The list is defined once in experiments();
+// fig10 garbler rekey parallel ot transport memory serving chaos
+// ablation multicore segsweep coupling (or "all"). The list is defined once in experiments();
 // main_test.go checks this comment and the flag help against it, so
 // the three cannot drift apart.
 package main
@@ -101,6 +101,10 @@ func experiments() []experiment {
 		}},
 		{"serving", "concurrent 2PC serving: shared plan cache, sessions and allocs/run", func(env *bench.Env) (string, error) {
 			_, s, err := env.Serving()
+			return s, err
+		}},
+		{"chaos", "serving under injected faults: drop rate vs runs/s, reconnects, failed runs", func(env *bench.Env) (string, error) {
+			_, s, err := env.Chaos()
 			return s, err
 		}},
 		{"ablation", "design-choice ablations (forwarding, push OoR, SWW, banking)", func(env *bench.Env) (string, error) {

@@ -272,6 +272,16 @@ type RunOptions struct {
 	// format is unchanged, so a planned party interoperates with an
 	// unplanned peer.
 	Plan *Precompiled
+	// Retry is the self-healing policy of sessions opened with Dial or
+	// DialWith: with MaxAttempts > 1 the initial dial retries with capped
+	// exponential backoff, and Session.Run transparently redials,
+	// re-handshakes (the server re-verifies the circuit digest) and
+	// replays a run broken by a drop, reset, deadline, malformed frame or
+	// busy/draining refusal. Replay is safe because a run is a pure
+	// function of its inputs — the server commits nothing until a run
+	// completes. The zero policy disables retry; the direct-connection
+	// entry points (Run2PC, RunGarbler, RunEvaluator) ignore it.
+	Retry RetryPolicy
 }
 
 func (o RunOptions) proto() proto.Options {
@@ -369,6 +379,14 @@ type (
 	// PlanCache is the shared build-once, LRU-bounded plan cache behind
 	// a Server, usable standalone.
 	PlanCache = server.PlanCache
+	// RetryPolicy configures session self-healing: dial retries with
+	// capped exponential backoff plus jitter, per-attempt handshake
+	// deadlines, and transparent redial-and-replay inside Session.Run.
+	RetryPolicy = server.RetryPolicy
+	// ClientStats counts a session's self-healing activity — runs,
+	// retries, reconnects, dial failures — and renders it in Prometheus
+	// text format via MetricsText, mirroring the server's /metrics.
+	ClientStats = server.ClientStats
 )
 
 // Typed serving errors, re-exported for errors.Is checks.
@@ -383,8 +401,13 @@ var (
 	// ErrBusy: the server is at ServerConfig.MaxSessions and shed the
 	// connection at handshake.
 	ErrBusy = server.ErrBusy
-	// ErrSessionClosed: the session's connection is gone.
+	// ErrSessionClosed: the session's connection is gone (and, under a
+	// retry policy, the attempt budget is spent).
 	ErrSessionClosed = server.ErrSessionClosed
+	// ErrMalformedFrame: wire input that is structurally invalid —
+	// oversized length fields, unknown status or ack bytes — corruption
+	// or a peer that does not speak the protocol.
+	ErrMalformedFrame = server.ErrMalformedFrame
 )
 
 // NewServer builds a serving garbler from cfg; start it with
@@ -417,9 +440,12 @@ func Dial(addr, circuitID string, c *Circuit) (*Session, error) {
 // DialWith is Dial with explicit engine options. RunOptions.Plan (from
 // Precompile on the same circuit) gives the session a persistent
 // evaluation runner with zero steady-state allocations per run; share
-// one Precompiled across every session of a circuit.
+// one Precompiled across every session of a circuit. RunOptions.Retry
+// makes the session self-healing: Session.Run then redials,
+// re-handshakes and replays runs broken by transport faults, and
+// Session.Stats counts the repair work.
 func DialWith(addr, circuitID string, c *Circuit, opts RunOptions) (*Session, error) {
-	sopts := server.Options{OT: ot.DH, Workers: opts.Workers, Pipelined: opts.Pipelined}
+	sopts := server.Options{OT: ot.DH, Workers: opts.Workers, Pipelined: opts.Pipelined, Retry: opts.Retry}
 	if opts.Plan != nil {
 		sopts.Plan = opts.Plan.plan
 	}

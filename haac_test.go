@@ -3,7 +3,9 @@ package haac
 import (
 	"errors"
 	"net"
+	"strings"
 	"testing"
+	"time"
 
 	"haac/internal/circuit"
 )
@@ -318,6 +320,101 @@ func TestFacadeServing(t *testing.T) {
 	st := srv.Stats()
 	if st.RunsServed != 4 || st.CacheMisses != 1 {
 		t.Fatalf("stats = %+v, want 4 runs / 1 miss", st)
+	}
+}
+
+// TestFacadeSelfHealingSession: a session dialed with a retry policy
+// survives its server being closed and replaced on the same address —
+// Session.Run redials, re-handshakes and replays transparently, and the
+// repair is visible in ClientStats and its Prometheus rendering.
+func TestFacadeSelfHealingSession(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(16)
+	y := b.EvaluatorInputs(16)
+	b.OutputWord(b.Add(x, y))
+	c := b.MustBuild()
+	g := bits(1234, 16)
+
+	cfg := ServerConfig{
+		Circuits: []ServedCircuit{{
+			ID:      "add16",
+			Circuit: c,
+			Inputs:  func() []bool { return g },
+		}},
+		Seed: 8,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv, err := Serve(ln, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	retry := RetryPolicy{MaxAttempts: 40, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, Seed: 3}
+	sess, err := DialWith(addr, "add16", c, RunOptions{Retry: retry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	plain, err := Eval(c, g, bits(4321, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		out, err := sess.Run(bits(4321, 16))
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		for i := range plain {
+			if out[i] != plain[i] {
+				t.Fatalf("%s: bit %d differs from Eval", stage, i)
+			}
+		}
+	}
+	check("before restart")
+
+	// Replace the server: the old one drains (severing the idle
+	// session), a fresh one binds the same address.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Serve(ln2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	check("after restart")
+	st := sess.Stats()
+	if st.Reconnects < 1 {
+		t.Fatalf("stats = %+v, want at least one reconnect across the restart", st)
+	}
+	if st.Runs != 2 {
+		t.Fatalf("runs completed = %d, want 2", st.Runs)
+	}
+	metrics := st.MetricsText()
+	for _, want := range []string{"haac_client_runs_total 2", "haac_client_reconnects_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("MetricsText missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Permanent handshake refusals are not retried, even under a policy.
+	start := time.Now()
+	if _, err := DialWith(addr, "nope", c, RunOptions{Retry: retry}); !errors.Is(err, ErrUnknownCircuit) {
+		t.Fatalf("unknown circuit under retry: got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("permanent refusal burned the retry budget (%v)", elapsed)
 	}
 }
 

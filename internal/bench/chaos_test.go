@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+func TestChaos(t *testing.T) {
+	e := NewEnv(Small)
+	rows, s, err := e.Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	wantRates := []float64{0, 0.02, 0.05}
+	for i, r := range rows {
+		if r.DropRate != wantRates[i] {
+			t.Fatalf("row %d: drop rate %v, want %v", i, r.DropRate, wantRates[i])
+		}
+		// Every offered run must have completed (each level verifies its
+		// outputs against the plaintext oracle internally, so a row only
+		// exists if all runs came back byte-identical).
+		if r.Runs != r.Sessions*12 || r.RunsPerSec <= 0 {
+			t.Fatalf("row %d: incomplete runs %+v", i, r)
+		}
+	}
+	// The fault-free baseline needs no repair; the faulted levels must
+	// show both the damage and the healing, or the experiment proved
+	// nothing.
+	base := rows[0]
+	if base.Drops != 0 || base.Reconnects != 0 || base.Retries != 0 || base.SrvFailed != 0 {
+		t.Fatalf("baseline row shows repair work: %+v", base)
+	}
+	for _, r := range rows[1:] {
+		if r.Drops == 0 {
+			t.Fatalf("drop rate %v: no drops injected: %+v", r.DropRate, r)
+		}
+		if r.Reconnects == 0 {
+			t.Fatalf("drop rate %v: drops injected but no reconnects: %+v", r.DropRate, r)
+		}
+	}
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+}

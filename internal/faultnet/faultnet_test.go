@@ -1,0 +1,270 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped client end and the raw server end of an
+// in-memory duplex connection.
+func pipe(t *testing.T, plan Plan) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return Wrap(a, plan, nil), b
+}
+
+// TestTransparentWhenZeroPlan: a zero plan forwards bytes unmodified,
+// including chunk boundaries invisible to the peer.
+func TestTransparentWhenZeroPlan(t *testing.T) {
+	c, peer := pipe(t, Plan{Seed: 1})
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	go func() {
+		c.Write(msg)
+		c.Close()
+	}()
+	got, err := io.ReadAll(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	if s := c.Stats(); s.Drops.Load()+s.Stalls.Load()+s.Corruptions.Load() != 0 {
+		t.Fatalf("zero plan injected faults: %+v", s)
+	}
+}
+
+// TestChunkedWritesDeliverIdenticalBytes: MaxWriteChunk splits writes
+// without changing the byte stream.
+func TestChunkedWritesDeliverIdenticalBytes(t *testing.T) {
+	c, peer := pipe(t, Plan{Seed: 2, MaxWriteChunk: 3})
+	msg := make([]byte, 1000)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	go func() {
+		n, err := c.Write(msg)
+		if err != nil || n != len(msg) {
+			t.Errorf("write = %d, %v", n, err)
+		}
+		c.Close()
+	}()
+	got, err := io.ReadAll(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("chunked write corrupted the stream")
+	}
+}
+
+// TestDropAfterBytesSeversBothEnds: the deterministic drop fires once
+// the byte threshold crosses, types as ECONNRESET + ErrInjected, and
+// the peer observes the connection closing.
+func TestDropAfterBytesSeversBothEnds(t *testing.T) {
+	c, peer := pipe(t, Plan{Seed: 3, DropAfterBytes: 8})
+	peerErr := make(chan error, 1)
+	go func() {
+		io.Copy(io.Discard, peer)
+		_, err := peer.Write([]byte("x"))
+		peerErr <- err
+	}()
+	if _, err := c.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("first write under threshold failed: %v", err)
+	}
+	_, err := c.Write([]byte("y"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("drop error not typed: %v", err)
+	}
+	select {
+	case err := <-peerErr:
+		if err == nil {
+			t.Fatal("peer write succeeded after drop")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never observed the drop")
+	}
+	if got := c.Stats().Drops.Load(); got != 1 {
+		t.Fatalf("drops = %d, want 1", got)
+	}
+	// Every later op fails without touching the dead conn.
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-drop read: %v", err)
+	}
+}
+
+// TestDelayedFIN: with FINDelay the injecting side fails immediately
+// but the peer keeps blocking until the delayed FIN lands.
+func TestDelayedFIN(t *testing.T) {
+	c, peer := pipe(t, Plan{Seed: 4, DropAfterBytes: 1, FINDelay: 50 * time.Millisecond})
+	go io.Copy(io.Discard, peer)
+	c.Write([]byte("ab")) // crosses threshold
+	// The peer blocks in a read that only the delayed FIN can end.
+	unblocked := make(chan time.Duration, 1)
+	start := time.Now()
+	go func() {
+		peer.Read(make([]byte, 1))
+		unblocked <- time.Since(start)
+	}()
+	if _, err := c.Write([]byte("c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop not injected: %v", err)
+	}
+	select {
+	case elapsed := <-unblocked:
+		if elapsed < 40*time.Millisecond {
+			t.Fatalf("peer unblocked after %v, want >= ~50ms (FIN arrived early)", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delayed FIN never landed")
+	}
+}
+
+// TestCorruptionBoundedToWindow: corruption flips bits only within the
+// first CorruptFirst inbound bytes, and is counted.
+func TestCorruptionBoundedToWindow(t *testing.T) {
+	c, peer := pipe(t, Plan{Seed: 5, CorruptRate: 1, CorruptFirst: 4})
+	msg := []byte{10, 20, 30, 40, 50, 60, 70, 80}
+	go func() {
+		peer.Write(msg)
+		peer.Close()
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[4:], msg[4:]) {
+		t.Fatalf("corruption escaped the window: got %v", got)
+	}
+	if bytes.Equal(got[:4], msg[:4]) {
+		t.Fatalf("rate-1 corruption never fired in the window: got %v", got)
+	}
+	if c.Stats().Corruptions.Load() == 0 {
+		t.Fatal("corruptions not counted")
+	}
+}
+
+// TestDeterministicSchedule: the same seed over a deterministic
+// transport injects the drop at the same op index.
+func TestDeterministicSchedule(t *testing.T) {
+	opIndex := func(seed uint64) int {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		c := Wrap(a, Plan{Seed: seed, DropRate: 0.2}, nil)
+		go io.Copy(io.Discard, b)
+		for i := 0; i < 1000; i++ {
+			if _, err := c.Write([]byte("01234567")); err != nil {
+				return i
+			}
+		}
+		return -1
+	}
+	first := opIndex(99)
+	if first < 0 {
+		t.Fatal("drop rate 0.2 never fired in 1000 ops")
+	}
+	for i := 0; i < 3; i++ {
+		if got := opIndex(99); got != first {
+			t.Fatalf("schedule not deterministic: drop at op %d, then %d", first, got)
+		}
+	}
+	if other := opIndex(100); other == first {
+		t.Logf("distinct seeds collided at op %d (possible, not fatal)", first)
+	}
+}
+
+// TestDialerDropOnce: with DropOnce, only the first dialed connection
+// carries the deterministic byte-offset drop; redials run clean.
+func TestDialerDropOnce(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				io.Copy(io.Discard, conn)
+				conn.Close()
+			}(conn)
+		}
+	}()
+	d := &Dialer{Plan: Plan{Seed: 7, DropAfterBytes: 4}, DropOnce: true}
+	c1, err := d.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Write(make([]byte, 4))
+	if _, err := c1.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first conn did not drop: %v", err)
+	}
+	c2, err := d.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := c2.Write(make([]byte, 4)); err != nil {
+			t.Fatalf("redialed conn dropped at write %d: %v", i, err)
+		}
+	}
+	if got := d.Stats().Drops.Load(); got != 1 {
+		t.Fatalf("drops = %d, want 1", got)
+	}
+	ln.Close()
+	wg.Wait()
+}
+
+// TestListenerWrapsAccepted: accepted conns inject and share stats.
+func TestListenerWrapsAccepted(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, Plan{Seed: 8, DropAfterBytes: 2})
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 16)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write(make([]byte, 64))
+	deadline := time.Now().Add(5 * time.Second)
+	for ln.Stats().Drops.Load() == 0 && time.Now().Before(deadline) {
+		conn.Write(make([]byte, 64))
+		time.Sleep(time.Millisecond)
+	}
+	if ln.Stats().Drops.Load() == 0 {
+		t.Fatal("accepted conn never injected its drop")
+	}
+	if ln.Stats().Conns.Load() != 1 {
+		t.Fatalf("conns = %d, want 1", ln.Stats().Conns.Load())
+	}
+}

@@ -15,6 +15,15 @@ import (
 // or circuit mismatch with errors.Is(err, ErrPeerClosed).
 var ErrPeerClosed = errors.New("peer closed connection mid-protocol")
 
+// ErrMalformedFrame marks input that is structurally invalid on the
+// wire: a run header with the wrong magic or version, an unknown OT
+// protocol byte, or header fields that contradict the circuit both
+// parties agreed on. Garbage and corrupted streams fail with this typed
+// error — never with an unbounded allocation or a raw io error — so a
+// self-healing client can classify the failure as transport damage and
+// retry on a fresh connection.
+var ErrMalformedFrame = errors.New("malformed frame")
+
 // ErrDeadline marks protocol failures caused by a connection deadline
 // expiring mid-run — the signal a serving layer's per-run timeout
 // raises against a peer that went silent. Typed separately from

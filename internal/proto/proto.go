@@ -133,6 +133,40 @@ func decodeHeader(b []byte) header {
 	}
 }
 
+// checkHeader validates a run header received off the wire against the
+// local circuit. Every failure is typed ErrMalformedFrame: the header
+// either is not a HAAC frame at all (magic/version/OT byte) or
+// contradicts the circuit the parties agreed on — on a digest-verified
+// session the latter can only mean stream corruption, so a retrying
+// client treats both as transport damage.
+func checkHeader(h header, c *circuit.Circuit) error {
+	return checkHeaderWant(h, headerFor(c, Options{}))
+}
+
+// checkHeaderWant is checkHeader against a precomputed expected header
+// (the session path keeps one per connection so validation stays
+// allocation- and scan-free per run). want's OTProto is ignored: the
+// garbler picks the OT protocol and the evaluator follows, as long as
+// the byte names a protocol that exists.
+func checkHeaderWant(h, want header) error {
+	if h.Magic != magic {
+		return fmt.Errorf("proto: %w: bad header magic %#x", ErrMalformedFrame, h.Magic)
+	}
+	if h.Version != version {
+		return fmt.Errorf("proto: %w: header version %d, want %d", ErrMalformedFrame, h.Version, version)
+	}
+	switch ot.Protocol(h.OTProto) {
+	case ot.DH, ot.Insecure, ot.IKNP:
+	default:
+		return fmt.Errorf("proto: %w: unknown OT protocol %d", ErrMalformedFrame, h.OTProto)
+	}
+	want.OTProto = h.OTProto
+	if h != want {
+		return fmt.Errorf("proto: %w: circuit mismatch: got %+v, want %+v", ErrMalformedFrame, h, want)
+	}
+	return nil
+}
+
 func headerFor(c *circuit.Circuit, opts Options) header {
 	and, _, _ := c.CountOps()
 	h := header{
@@ -370,10 +404,8 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 		return nil, wrapPeer("reading header", err)
 	}
 	h := decodeHeader(hb[:])
-	want := headerFor(c, Options{OT: ot.Protocol(h.OTProto)})
-	want.OTProto = h.OTProto
-	if h != want {
-		return nil, fmt.Errorf("proto: circuit mismatch: got %+v, want %+v", h, want)
+	if err := checkHeader(h, c); err != nil {
+		return nil, err
 	}
 
 	// All fixed-position labels (garbler inputs, then the two constants)

@@ -234,10 +234,8 @@ func (s *EvaluatorSession) Run(evalBits []bool) ([]bool, error) {
 		return nil, wrapPeer("reading header", err)
 	}
 	h := decodeHeader(s.hdrBuf[:])
-	want := s.want
-	want.OTProto = h.OTProto // the garbler picks; we follow
-	if h != want {
-		return nil, fmt.Errorf("proto: circuit mismatch: got %+v, want %+v", h, want)
+	if err := checkHeaderWant(h, s.want); err != nil {
+		return nil, err
 	}
 
 	nFixed := c.GarblerInputs

@@ -4,12 +4,120 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"strings"
+	"syscall"
+	"time"
 
 	"haac/internal/circuit"
 	"haac/internal/ot"
 	"haac/internal/proto"
 )
+
+// RetryPolicy configures the client's self-healing behavior: how Dial
+// retries the initial connection and how Session.Run transparently
+// redials, re-handshakes and replays a run after a retryable failure.
+//
+// Replaying a run is safe because a run is a pure function of its
+// inputs: the server garbles with fresh labels each attempt and commits
+// no state until the run completes, so a replay is indistinguishable
+// from a first attempt. The zero policy disables retry entirely — every
+// failure surfaces immediately, exactly the pre-retry behavior.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total attempts per operation (first try
+	// included). 0 and 1 both mean "no retry".
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it (capped at MaxBackoff). Default 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Default 2s.
+	MaxBackoff time.Duration
+	// Jitter is the fraction of each backoff randomized away (0..1),
+	// de-synchronizing a fleet of clients redialing a restarted backend.
+	// Default 0.2; negative disables jitter.
+	Jitter float64
+	// HandshakeTimeout bounds each redial's connect + hello + reply
+	// exchange, so one stalled backend cannot absorb the whole retry
+	// budget. 0 means no per-attempt deadline.
+	HandshakeTimeout time.Duration
+	// Seed makes the jitter sequence deterministic when nonzero (tests);
+	// zero seeds from the global source.
+	Seed uint64
+}
+
+// enabled reports whether the policy retries at all.
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// attempts returns the attempt bound (at least 1).
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the sleep before retry number n (n >= 1), with
+// exponential growth, cap and jitter.
+func (p RetryPolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 && rng != nil {
+		if jitter > 1 {
+			jitter = 1
+		}
+		d -= time.Duration(float64(d) * jitter * rng.Float64())
+	}
+	return d
+}
+
+// ClientStats counts a session's self-healing activity. Snapshot it
+// with Session.Stats; the counters are owned by the session's goroutine
+// (a Session is not safe for concurrent use, and neither is reading its
+// stats mid-Run).
+type ClientStats struct {
+	// Runs counts completed runs, RunFailures runs that surfaced an
+	// error to the caller after exhausting the retry budget.
+	Runs, RunFailures uint64
+	// Retries counts run attempts that failed retryably and were
+	// replayed; Reconnects counts successful redial + re-handshake
+	// cycles; DialFailures counts redial attempts that did not produce
+	// a working session.
+	Retries, Reconnects, DialFailures uint64
+}
+
+// MetricsText renders the counters in Prometheus text exposition
+// format, mirroring the server's /metrics so a client-side sidecar can
+// export its half of the resilience story.
+func (cs ClientStats) MetricsText() string {
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("haac_client_runs_total", "Runs completed by this session.", cs.Runs)
+	counter("haac_client_run_failures_total", "Runs that failed after exhausting retries.", cs.RunFailures)
+	counter("haac_client_run_retries_total", "Run attempts replayed after a retryable failure.", cs.Retries)
+	counter("haac_client_reconnects_total", "Successful redial and re-handshake cycles.", cs.Reconnects)
+	counter("haac_client_dial_failures_total", "Redial attempts that failed.", cs.DialFailures)
+	return b.String()
+}
 
 // Options configures the client side of a session.
 type Options struct {
@@ -29,40 +137,89 @@ type Options struct {
 	Plan *circuit.Plan
 	// Stats, when non-nil, accumulates the session's transport bytes.
 	Stats *proto.Stats
+	// Retry is the self-healing policy: with MaxAttempts > 1, Dial
+	// retries the initial connection and Run transparently redials,
+	// re-handshakes (digest re-verified by the server) and replays the
+	// run after drops, resets, deadline expiries and malformed frames.
+	Retry RetryPolicy
+	// Dialer overrides how (re)connections are opened — tests route it
+	// through a fault-injecting transport, proxies through their own
+	// resolver. nil means net.Dial("tcp", addr).
+	Dialer func(addr string) (net.Conn, error)
+}
+
+// dial opens one connection via the configured dialer.
+func (o Options) dial(addr string) (net.Conn, error) {
+	if o.Dialer != nil {
+		return o.Dialer(addr)
+	}
+	return net.Dial("tcp", addr)
 }
 
 // Session is a client (evaluator) session against a serving garbler.
 // Run may be called any number of times; the session amortizes its
-// transport buffers and evaluation engine across runs. Not safe for
-// concurrent use — open one session per goroutine; the server
-// multiplexes them.
+// transport buffers and evaluation engine across runs, and — when
+// Options.Retry is enabled and the session was opened with Dial —
+// transparently reconnects and replays runs across backend restarts.
+// Not safe for concurrent use — open one session per goroutine; the
+// server multiplexes them.
 type Session struct {
 	conn     net.Conn
 	rw       io.ReadWriter
 	es       *proto.EvaluatorSession
 	numSlots int
 	frame    [1]byte
-	closed   bool
+	closed   bool // Close was called: permanently done
+	broken   bool // the connection failed: reconnectable under Retry
+
+	// Reconnect state; addr == "" means the session was built over a
+	// caller-owned conn (NewSession) and cannot redial.
+	addr  string
+	hello hello
+	opts  Options
+	rng   *rand.Rand
+	stats ClientStats
 }
 
 // Dial connects to a serving garbler at addr and opens a session for
-// the identified circuit. The client must hold a structurally identical
-// circuit: its digest is checked during the handshake.
+// the identified circuit, retrying per opts.Retry. The client must hold
+// a structurally identical circuit: its digest is checked during the
+// handshake on every (re)connection.
 func Dial(addr, circuitID string, c *circuit.Circuit, opts Options) (*Session, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: dial: %w", err)
+	s := &Session{
+		addr:  addr,
+		hello: hello{ot: opts.OT, id: circuitID, digest: circuit.Digest(c)},
+		opts:  opts,
+		rng:   newJitterRNG(opts.Retry.Seed),
 	}
-	s, err := NewSession(conn, circuitID, c, opts)
-	if err != nil {
-		conn.Close()
-		return nil, err
+	for attempt := 1; ; attempt++ {
+		conn, err := s.connect()
+		if err == nil {
+			es, err2 := proto.NewEvaluatorSession(s.rw, c, proto.Options{
+				OT:        opts.OT,
+				Workers:   opts.Workers,
+				Pipelined: opts.Pipelined && opts.Plan == nil,
+				Plan:      opts.Plan,
+			})
+			if err2 == nil {
+				s.conn, s.es = conn, es
+				return s, nil
+			}
+			conn.Close()
+			return nil, err2 // a local setup error; retrying cannot help
+		}
+		if attempt >= opts.Retry.attempts() || !retryable(err) {
+			return nil, err
+		}
+		time.Sleep(opts.Retry.backoff(attempt, s.rng))
 	}
-	return s, nil
 }
 
 // NewSession performs the session handshake over an existing connection
 // and returns the ready session. On error the caller owns closing conn.
+// Sessions built this way cannot redial (the caller owns the
+// transport), so Options.Retry is ignored — use Dial for self-healing
+// sessions.
 func NewSession(conn net.Conn, circuitID string, c *circuit.Circuit, opts Options) (*Session, error) {
 	rw := proto.Instrument(conn, opts.Stats)
 	if err := writeHello(rw, hello{ot: opts.OT, id: circuitID, digest: circuit.Digest(c)}); err != nil {
@@ -81,21 +238,151 @@ func NewSession(conn net.Conn, circuitID string, c *circuit.Circuit, opts Option
 	if err != nil {
 		return nil, err
 	}
-	return &Session{conn: conn, rw: rw, es: es, numSlots: int(numSlots)}, nil
+	return &Session{conn: conn, rw: rw, es: es, numSlots: int(numSlots), opts: opts}, nil
+}
+
+// newJitterRNG seeds the backoff jitter source.
+func newJitterRNG(seed uint64) *rand.Rand {
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano()) | 1
+	}
+	return rand.New(rand.NewSource(int64(seed)))
+}
+
+// connect dials addr and completes the handshake, leaving s.rw bound to
+// the new connection. The caller installs the returned conn.
+func (s *Session) connect() (net.Conn, error) {
+	conn, err := s.opts.dial(s.addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial: %w", err)
+	}
+	if d := s.opts.Retry.HandshakeTimeout; d > 0 {
+		conn.SetDeadline(time.Now().Add(d))
+	}
+	rw := proto.Instrument(conn, s.opts.Stats)
+	if err := writeHello(rw, s.hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	numSlots, err := readReply(rw)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if s.opts.Retry.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	s.rw = rw
+	s.numSlots = int(numSlots)
+	return conn, nil
+}
+
+// reconnect replaces a broken connection: redial, re-handshake (the
+// server re-verifies the circuit digest) and rebind the persistent
+// evaluator runner to the new transport.
+func (s *Session) reconnect() error {
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	conn, err := s.connect()
+	if err != nil {
+		s.stats.DialFailures++
+		return err
+	}
+	s.conn = conn
+	s.es.Reset(s.rw)
+	s.broken = false
+	s.stats.Reconnects++
+	return nil
 }
 
 // NumSlots reports the slot-arena width of the server's plan for this
 // circuit — evidence of the shared precompiled plan behind the session.
 func (s *Session) NumSlots() int { return s.numSlots }
 
+// Stats returns a snapshot of the session's self-healing counters.
+func (s *Session) Stats() ClientStats { return s.stats }
+
+// retryable classifies an error as transport damage worth a fresh
+// connection: peer drops and resets, expired deadlines, malformed or
+// corrupted frames, a dead session, and admission refusals that a
+// restarted or load-shed backend raises transiently (ErrBusy,
+// ErrDraining — in a fleet the redial lands on a live backend).
+// Handshake refusals that no retry can fix — unknown circuit, digest
+// mismatch, version mismatch, bad request — are permanent.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrUnknownCircuit) || errors.Is(err, ErrDigestMismatch) ||
+		errors.Is(err, ErrBadVersion) || errors.Is(err, ErrBadRequest) {
+		return false
+	}
+	if errors.Is(err, proto.ErrPeerClosed) || errors.Is(err, proto.ErrDeadline) ||
+		errors.Is(err, proto.ErrMalformedFrame) || errors.Is(err, ErrMalformedFrame) ||
+		errors.Is(err, ErrSessionClosed) || errors.Is(err, ErrBusy) || errors.Is(err, ErrDraining) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
 // Run executes one garbled run as the evaluator and returns the
-// plaintext outputs. The returned slice is reused by the next Run. A
-// server that is draining refuses with ErrDraining; a dead server
-// surfaces ErrSessionClosed.
+// plaintext outputs. The returned slice is reused by the next Run.
+//
+// Under Options.Retry a retryable failure — dropped connection, reset,
+// deadline, malformed frame, busy/draining refusal — triggers redial,
+// re-handshake and replay until the run completes or the attempt budget
+// is spent; the final error then wraps both ErrSessionClosed and the
+// last underlying cause. Without retry, a server that is draining
+// refuses with ErrDraining and a dead connection surfaces
+// ErrSessionClosed immediately.
 func (s *Session) Run(evalBits []bool) ([]bool, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
+	policy := s.opts.Retry
+	canHeal := policy.enabled() && s.addr != ""
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if s.broken {
+			if !canHeal {
+				s.stats.RunFailures++
+				return nil, ErrSessionClosed
+			}
+			if err := s.reconnect(); err != nil {
+				lastErr = err
+				if attempt >= policy.attempts() || !retryable(err) {
+					s.stats.RunFailures++
+					return nil, fmt.Errorf("%w: reconnect failed after %d attempts: %w", ErrSessionClosed, attempt, lastErr)
+				}
+				time.Sleep(policy.backoff(attempt, s.rng))
+				continue
+			}
+		}
+		out, err := s.runOnce(evalBits)
+		if err == nil {
+			s.stats.Runs++
+			return out, nil
+		}
+		lastErr = err
+		if !canHeal || attempt >= policy.attempts() || !retryable(err) {
+			s.stats.RunFailures++
+			return nil, err
+		}
+		s.stats.Retries++
+		time.Sleep(policy.backoff(attempt, s.rng))
+	}
+}
+
+// runOnce plays a single run attempt over the current connection.
+func (s *Session) runOnce(evalBits []bool) ([]bool, error) {
 	s.frame[0] = opRun
 	if _, err := s.rw.Write(s.frame[:]); err != nil {
 		return nil, s.fail(err)
@@ -106,41 +393,57 @@ func (s *Session) Run(evalBits []bool) ([]bool, error) {
 	switch s.frame[0] {
 	case ackGo:
 	case ackDraining:
-		s.shutdown()
+		s.breakConn()
 		return nil, ErrDraining
 	default:
-		return nil, s.fail(fmt.Errorf("unexpected ack byte %d", s.frame[0]))
+		return nil, s.fail(fmt.Errorf("%w: unexpected ack byte %d", ErrMalformedFrame, s.frame[0]))
 	}
 	out, err := s.es.Run(evalBits)
 	if err != nil {
+		// Whatever broke a run mid-protocol leaves the connection's
+		// stream position unusable: mark it broken so the next attempt
+		// reconnects instead of resyncing against garbage.
 		if errors.Is(err, proto.ErrPeerClosed) {
 			return nil, s.fail(err)
 		}
-		s.shutdown()
+		s.breakConn()
 		return nil, err
 	}
 	return out, nil
 }
 
-// Close says goodbye (best effort) and closes the connection.
+// Close says goodbye (best effort) and closes the connection. Closing a
+// cleanly closed session again is a no-op; closing a session whose
+// connection already failed returns ErrSessionClosed without touching
+// the dead transport.
 func (s *Session) Close() error {
 	if s.closed {
 		return nil
 	}
+	s.closed = true
+	if s.broken {
+		s.es.Close()
+		return ErrSessionClosed
+	}
 	s.frame[0] = opBye
 	s.rw.Write(s.frame[:])
-	return s.shutdown()
-}
-
-// shutdown marks the session dead and closes its connection.
-func (s *Session) shutdown() error {
-	s.closed = true
+	s.breakConn()
 	s.es.Close()
-	return s.conn.Close()
+	return nil
 }
 
-// fail shuts the session down and wraps err as ErrSessionClosed.
+// breakConn marks the connection dead (reconnectable under Retry) and
+// tears it down.
+func (s *Session) breakConn() {
+	s.broken = true
+	if s.conn != nil {
+		s.conn.Close()
+	}
+}
+
+// fail breaks the connection and wraps err as ErrSessionClosed,
+// preserving the cause for retry classification.
 func (s *Session) fail(err error) error {
-	s.shutdown()
-	return fmt.Errorf("%w: %v", ErrSessionClosed, err)
+	s.breakConn()
+	return fmt.Errorf("%w: %w", ErrSessionClosed, err)
 }

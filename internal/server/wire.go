@@ -43,6 +43,12 @@ const (
 	// maxIDLen bounds circuit identifiers on the wire.
 	maxIDLen = 1024
 
+	// maxStatusMsgLen bounds the human-readable detail of a handshake
+	// refusal. Every wire-controlled length is checked against its bound
+	// before a byte is allocated, so a garbage frame can neither trigger
+	// a huge allocation nor masquerade as a legitimate refusal.
+	maxStatusMsgLen = 1024
+
 	opRun = 1
 	opBye = 2
 
@@ -59,9 +65,13 @@ const (
 )
 
 // Typed session errors. Handshake failures map one status each;
-// ErrSessionClosed marks a session whose connection died (including the
-// server force-closing idle sessions during shutdown).
+// ErrMalformedFrame marks wire input that is structurally invalid
+// (oversized length fields, unknown status bytes) — corruption or a
+// peer that does not speak the protocol; ErrSessionClosed marks a
+// session whose connection died (including the server force-closing
+// idle sessions during shutdown) or that exhausted its retry budget.
 var (
+	ErrMalformedFrame = errors.New("server: malformed frame")
 	ErrUnknownCircuit = errors.New("server: unknown circuit")
 	ErrDigestMismatch = errors.New("server: circuit digest mismatch")
 	ErrBadVersion     = errors.New("server: protocol version mismatch")
@@ -142,8 +152,8 @@ func writeReply(w io.Writer, status uint8, numSlots uint32, msg string) error {
 		_, err := w.Write(buf[:])
 		return err
 	}
-	if len(msg) > 0xffff {
-		msg = msg[:0xffff]
+	if len(msg) > maxStatusMsgLen {
+		msg = msg[:maxStatusMsgLen]
 	}
 	buf := make([]byte, 3+len(msg))
 	buf[0] = status
@@ -170,7 +180,13 @@ func readReply(r io.Reader) (numSlots uint32, err error) {
 	if _, err := io.ReadFull(r, b[1:3]); err != nil {
 		return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 	}
-	msg := make([]byte, binary.LittleEndian.Uint16(b[1:3]))
+	// Bound the wire-controlled length before allocating: a corrupt or
+	// hostile reply must not be able to demand an arbitrary buffer.
+	msgLen := int(binary.LittleEndian.Uint16(b[1:3]))
+	if msgLen > maxStatusMsgLen {
+		return 0, fmt.Errorf("%w: refusal message length %d exceeds %d", ErrMalformedFrame, msgLen, maxStatusMsgLen)
+	}
+	msg := make([]byte, msgLen)
 	if _, err := io.ReadFull(r, msg); err != nil {
 		return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 	}
@@ -197,7 +213,7 @@ func statusErr(status uint8) error {
 	case statusBusy:
 		return ErrBusy
 	}
-	return fmt.Errorf("server: handshake refused with unknown status %d", status)
+	return fmt.Errorf("%w: handshake refused with unknown status %d", ErrMalformedFrame, status)
 }
 
 // statusMsg is the human-readable detail sent alongside a refusal.
