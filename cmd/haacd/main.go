@@ -20,6 +20,10 @@
 // cannot pin a session; -allow-insecure-ot must be set explicitly
 // before the daemon accepts sessions requesting the choice-revealing
 // insecure OT (benchmarks only — never enable it facing real peers).
+// -tls-cert/-tls-key (a PEM pair, set together) wrap the session
+// listener in TLS; clients then dial with RunOptions.TLS. The ops
+// sidecar stays plain HTTP either way — firewall it to the control
+// plane.
 //
 // SIGINT/SIGTERM drain gracefully: listeners stop accepting, idle
 // sessions disconnect, in-flight runs get -drain-timeout to finish
@@ -28,6 +32,7 @@
 package main
 
 import (
+	"crypto/tls"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	runTimeout := fs.Duration("run-timeout", 0, "per-run deadline; a peer stalling mid-run past it loses the session (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 0, "shutdown grace for in-flight runs before force-close (0 = 30s default)")
 	allowInsecure := fs.Bool("allow-insecure-ot", false, "accept sessions requesting the choice-revealing insecure OT (benchmarks only)")
+	tlsCert := fs.String("tls-cert", "", "PEM certificate for TLS on the session listener (requires -tls-key; empty = plaintext)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for TLS on the session listener (requires -tls-cert)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -81,6 +88,11 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	tlsCfg, err := tlsFor(*tlsCert, *tlsKey)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 	srv, err := server.New(server.Config{
 		Circuits:        specs,
 		PlanCacheSize:   *cacheSize,
@@ -89,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		RunTimeout:      *runTimeout,
 		DrainTimeout:    *drainTimeout,
 		AllowInsecureOT: *allowInsecure,
+		TLS:             tlsCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -109,7 +122,11 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		}
 	}
 
-	fmt.Fprintf(stdout, "haacd: serving %d circuits on %s\n", len(specs), ln.Addr())
+	proto := "plaintext"
+	if tlsCfg != nil {
+		proto = "TLS"
+	}
+	fmt.Fprintf(stdout, "haacd: serving %d circuits on %s (%s)\n", len(specs), ln.Addr(), proto)
 	if opsLn != nil {
 		fmt.Fprintf(stdout, "haacd: ops endpoints on http://%s (/healthz, /metrics)\n", opsLn.Addr())
 	}
@@ -147,6 +164,22 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 			st.RunsServed, st.SessionsTotal, st.BytesOut, st.CacheHits, st.CacheMisses, st.SessionsRefused, st.SessionsForceClosed)
 		return 0
 	}
+}
+
+// tlsFor loads the listener TLS configuration from a PEM pair; both
+// flags empty keeps the plaintext default.
+func tlsFor(certFile, keyFile string) (*tls.Config, error) {
+	if certFile == "" && keyFile == "" {
+		return nil, nil
+	}
+	if certFile == "" || keyFile == "" {
+		return nil, errors.New("-tls-cert and -tls-key must be set together")
+	}
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("loading TLS key pair: %w", err)
+	}
+	return &tls.Config{Certificates: []tls.Certificate{cert}}, nil
 }
 
 // specsFor resolves the served circuit set: every named workload from

@@ -2,8 +2,19 @@ package main
 
 import (
 	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
 	"io"
+	"math/big"
+	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -198,6 +209,105 @@ func TestDaemonOpsEndpoints(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatalf("daemon did not drain:\n%s", stdout.String())
+	}
+}
+
+// writeTLSPair mints a self-signed loopback certificate and writes the
+// PEM pair to the test's temp dir.
+func writeTLSPair(t *testing.T) (certFile, keyFile string, pool *x509.CertPool) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "haacd-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.IPv4(127, 0, 0, 1)},
+		DNSNames:              []string{"localhost"},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	certFile, keyFile = filepath.Join(dir, "cert.pem"), filepath.Join(dir, "key.pem")
+	if err := os.WriteFile(certFile, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool = x509.NewCertPool()
+	pool.AddCert(leaf)
+	return certFile, keyFile, pool
+}
+
+// TestDaemonTLS: -tls-cert/-tls-key wrap the session listener; a TLS
+// client trusting the pair completes a run, and half a pair is a usage
+// error.
+func TestDaemonTLS(t *testing.T) {
+	certFile, keyFile, pool := writeTLSPair(t)
+	addr, stdout, stop, code := startDaemon(t, []string{
+		"-workloads", "Million-8", "-value", "200",
+		"-tls-cert", certFile, "-tls-key", keyFile,
+	})
+	defer stop()
+	if !strings.Contains(stdout.String(), "(TLS)") {
+		t.Errorf("banner does not announce TLS:\n%s", stdout.String())
+	}
+
+	var w workloads.Workload
+	for _, cand := range append(workloads.VIPSuiteSmall(), workloads.MicroSuite()...) {
+		if cand.Name == "Million-8" {
+			w = cand
+		}
+	}
+	c := w.Build()
+	sess, err := server.Dial(addr, "Million-8", c, server.Options{
+		TLS: &tls.Config{RootCAs: pool, ServerName: "localhost"},
+	})
+	if err != nil {
+		t.Fatalf("TLS dial: %v", err)
+	}
+	if _, err := sess.Run(make([]bool, c.EvaluatorInputs)); err != nil {
+		t.Fatalf("TLS run: %v", err)
+	}
+	sess.Close()
+
+	stop()
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("daemon exit %d:\n%s", c, stdout.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not drain:\n%s", stdout.String())
+	}
+
+	for _, args := range [][]string{
+		{"-workloads", "Million-8", "-tls-cert", certFile},
+		{"-workloads", "Million-8", "-tls-key", keyFile},
+		{"-workloads", "Million-8", "-tls-cert", certFile, "-tls-key", certFile},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw, make(chan struct{})); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2 (stderr: %s)", args, code, errw.String())
+		}
 	}
 }
 

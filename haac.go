@@ -45,6 +45,7 @@
 package haac
 
 import (
+	"crypto/tls"
 	"fmt"
 	"net"
 
@@ -52,6 +53,7 @@ import (
 	"haac/internal/circuit"
 	"haac/internal/compiler"
 	"haac/internal/energy"
+	"haac/internal/fleet"
 	"haac/internal/gc"
 	"haac/internal/label"
 	"haac/internal/ot"
@@ -282,6 +284,12 @@ type RunOptions struct {
 	// completes. The zero policy disables retry; the direct-connection
 	// entry points (Run2PC, RunGarbler, RunEvaluator) ignore it.
 	Retry RetryPolicy
+	// TLS, when non-nil, makes Dial/DialWith (and DialFleet) connect over
+	// TLS — set ServerName (or InsecureSkipVerify plus certificate
+	// pinning in tests) to authenticate the garbler. The peer must serve
+	// with ServerConfig.TLS / FleetConfig.TLS. nil keeps the plaintext
+	// default; the direct-connection entry points ignore it.
+	TLS *tls.Config
 }
 
 func (o RunOptions) proto() proto.Options {
@@ -445,11 +453,53 @@ func Dial(addr, circuitID string, c *Circuit) (*Session, error) {
 // re-handshakes and replays runs broken by transport faults, and
 // Session.Stats counts the repair work.
 func DialWith(addr, circuitID string, c *Circuit, opts RunOptions) (*Session, error) {
-	sopts := server.Options{OT: ot.DH, Workers: opts.Workers, Pipelined: opts.Pipelined, Retry: opts.Retry}
+	sopts := server.Options{OT: ot.DH, Workers: opts.Workers, Pipelined: opts.Pipelined, Retry: opts.Retry, TLS: opts.TLS}
 	if opts.Plan != nil {
 		sopts.Plan = opts.Plan.plan
 	}
 	return server.Dial(addr, circuitID, c, sopts)
+}
+
+// Fleet types, re-exported from internal/fleet: the digest-sharded
+// front proxy that scales the serving layer across several garbler
+// processes.
+type (
+	// Fleet is the front proxy: it routes each session to a backend by
+	// rendezvous-hashing the circuit digest (so repeat circuits land on
+	// warm plan caches), health-checks backends actively (/readyz
+	// probes) and passively (per-backend circuit breakers), fails
+	// sessions over to the next live backend, and supports
+	// Drain/Undrain rolling restarts. ServeOps/OpsHandler expose its
+	// own /healthz, /readyz and /metrics.
+	Fleet = fleet.Fleet
+	// FleetConfig configures a Fleet: the backend set, probe cadence,
+	// breaker thresholds, drain bound, and optional TLS on either hop.
+	FleetConfig = fleet.Config
+	// FleetBackend names one backend garbler: its 2PC session address
+	// and optional HTTP ops address for active probing.
+	FleetBackend = fleet.Backend
+	// FleetStats snapshots the proxy's counters — routes, refusals,
+	// failovers, ejections/readmissions, spliced bytes — plus
+	// per-backend breakdowns.
+	FleetStats = fleet.Stats
+)
+
+// NewFleet builds the front proxy from cfg; start it with Fleet.Serve
+// on any net.Listener and stop it with Fleet.Close.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// DialFleet opens an evaluator session through a fleet proxy at addr.
+// The proxy speaks the exact server handshake, so this is Dial pointed
+// at the fleet — a session with a retry policy (RunOptions.Retry via
+// DialFleetWith) heals across backend failures: the redial lands on the
+// proxy, which routes it to the next live backend.
+func DialFleet(addr, circuitID string, c *Circuit) (*Session, error) {
+	return DialWith(addr, circuitID, c, RunOptions{})
+}
+
+// DialFleetWith is DialFleet with explicit engine options; see DialWith.
+func DialFleetWith(addr, circuitID string, c *Circuit, opts RunOptions) (*Session, error) {
+	return DialWith(addr, circuitID, c, opts)
 }
 
 // CircuitDigest returns the canonical SHA-256 identity of a circuit —

@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"haac/internal/circuit"
+	"haac/internal/fleet"
+	"haac/internal/ot"
+	"haac/internal/server"
+	"haac/internal/workloads"
+)
+
+// Fleet experiment: the digest-sharded front proxy, measured. A fixed
+// mix of distinct circuits is served through the fleet at 1, 2 and 4
+// backends; rendezvous hashing pins every circuit to exactly one
+// backend, so the process-wide plan-build count stays constant as the
+// fleet widens — the cache-locality property the proxy exists to
+// preserve — while the aggregated backend plan caches answer repeat
+// sessions from warm entries. A final row kills one loaded backend
+// mid-level: the retrying clients redial through the proxy, the
+// breaker ejects the corpse, every run still completes byte-identical
+// to the plaintext oracle, and the row prices the disruption —
+// failovers, reconnects and the slowest single run (an upper bound on
+// client-visible failover latency).
+
+// FleetRow reports one fleet width.
+type FleetRow struct {
+	Backends int
+	Killed   bool // one backend closed while sessions were mid-level
+	Sessions int
+	Circuits int
+	Runs     int // measured runs, all sessions
+	// RunsPerSec is reported, never asserted: single-CPU CI makes
+	// wall-clock comparisons meaningless.
+	RunsPerSec  float64
+	Failovers   uint64 // sessions routed past a dead/refusing backend
+	Reconnects  uint64 // client redial + re-handshake cycles
+	CacheHits   uint64 // aggregated across every backend's plan cache
+	CacheMisses uint64
+	// PlanBuilds counts process-wide circuit.NewPlan calls during the
+	// level: one per circuit on the client side plus one per circuit
+	// across ALL backends — digest sharding keeps the server-side count
+	// at one per circuit no matter how many backends serve.
+	PlanBuilds uint64
+	// MaxRunMillis is the slowest single Run of the level; on the kill
+	// row it bounds the client-visible failover latency.
+	MaxRunMillis float64
+}
+
+// fleetWorkloads returns the circuit mix: distinct digests so the
+// proxy has something to shard.
+func fleetWorkloads() []workloads.Workload {
+	return []workloads.Workload{
+		workloads.AddN(8),
+		workloads.AddN(16),
+		workloads.AddN(24),
+		workloads.DotProduct(2, 8),
+	}
+}
+
+// Fleet measures the front proxy at 1, 2 and 4 backends, then kills a
+// loaded backend under a 4-backend fleet.
+func (e *Env) Fleet() ([]FleetRow, string, error) {
+	ws := fleetWorkloads()
+	sessions, runsPerSession := 8, 8
+	if e.Scale == Paper {
+		runsPerSession = 24
+	}
+
+	var rows []FleetRow
+	for _, backends := range []int{1, 2, 4} {
+		row, err := e.fleetLevel(ws, backends, false, sessions, runsPerSession)
+		if err != nil {
+			return nil, "", fmt.Errorf("fleet: %d backends: %w", backends, err)
+		}
+		rows = append(rows, row)
+	}
+	row, err := e.fleetLevel(ws, 4, true, sessions, runsPerSession)
+	if err != nil {
+		return nil, "", fmt.Errorf("fleet: backend kill: %w", err)
+	}
+	rows = append(rows, row)
+
+	header := []string{"backends", "killed", "sessions", "runs", "runs/s", "failovers", "reconnects", "cache hit/miss", "plan builds", "max run ms"}
+	var cells [][]string
+	for _, r := range rows {
+		killed := "-"
+		if r.Killed {
+			killed = "1"
+		}
+		cells = append(cells, []string{
+			fmt.Sprint(r.Backends),
+			killed,
+			fmt.Sprint(r.Sessions),
+			fmt.Sprint(r.Runs),
+			fmt.Sprintf("%.0f", r.RunsPerSec),
+			fmt.Sprint(r.Failovers),
+			fmt.Sprint(r.Reconnects),
+			fmt.Sprintf("%d/%d", r.CacheHits, r.CacheMisses),
+			fmt.Sprint(r.PlanBuilds),
+			fmt.Sprintf("%.0f", r.MaxRunMillis),
+		})
+	}
+	s := table(header, cells)
+	s += fmt.Sprintf("\n(%d circuits sharded by digest across the fleet over loopback TCP; plan builds\n"+
+		"stay at 2 per circuit — one client-side, one on the single backend rendezvous\n"+
+		"hashing assigns it — at every width, so widening the fleet never cools a cache;\n"+
+		"the kill row closes a loaded backend mid-level: retrying clients redial through\n"+
+		"the proxy, which fails them over past the ejected corpse, and every run is\n"+
+		"checked against the plaintext oracle; max run ms bounds the client-visible\n"+
+		"failover stall; throughput is reported for shape only, not asserted)\n", len(ws))
+	return rows, s, nil
+}
+
+// fleetLevel runs one fleet width end to end. With kill set, the
+// backend carrying the most sessions is closed after every session's
+// warm-up run; the level still must complete every measured run with
+// oracle-identical outputs.
+func (e *Env) fleetLevel(ws []workloads.Workload, backends int, kill bool, sessions, runsPerSession int) (FleetRow, error) {
+	row := FleetRow{Backends: backends, Killed: kill, Sessions: sessions, Circuits: len(ws)}
+
+	type circ struct {
+		w    workloads.Workload
+		c    *circuit.Circuit
+		g    []bool
+		eval []bool
+		want []bool
+	}
+	circs := make([]circ, len(ws))
+	specs := make([]server.CircuitSpec, len(ws))
+	for i, w := range ws {
+		c := w.Build()
+		g, eval := w.Inputs(int64(40 + i))
+		want, err := c.Eval(g, eval)
+		if err != nil {
+			return row, err
+		}
+		circs[i] = circ{w: w, c: c, g: g, eval: eval, want: want}
+		gb := g
+		specs[i] = server.CircuitSpec{ID: w.Name, Circuit: c, Inputs: func() []bool { return gb }}
+	}
+
+	buildsBefore := circuit.PlanBuilds()
+
+	srvs := make([]*server.Server, backends)
+	addrs := make([]string, backends)
+	addrToSrv := make(map[string]*server.Server, backends)
+	for i := range srvs {
+		srv, err := server.New(server.Config{
+			Circuits:        specs,
+			Seed:            uint64(23 + i),
+			AllowInsecureOT: true,
+			DrainTimeout:    10 * time.Millisecond,
+		})
+		if err != nil {
+			return row, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return row, err
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		srvs[i] = srv
+		addrs[i] = ln.Addr().String()
+		addrToSrv[addrs[i]] = srv
+	}
+
+	bs := make([]fleet.Backend, backends)
+	for i, a := range addrs {
+		bs[i] = fleet.Backend{Addr: a}
+	}
+	fl, err := fleet.New(fleet.Config{
+		Backends:      bs,
+		ProbeInterval: -1, // passive breaker only; no ops sidecars here
+		FailThreshold: 2,
+		ReopenAfter:   time.Minute, // a killed backend stays ejected
+		DrainTimeout:  200 * time.Millisecond,
+	})
+	if err != nil {
+		return row, err
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	go fl.Serve(fln)
+	defer fl.Close()
+	fleetAddr := fln.Addr().String()
+
+	// One client-side plan per circuit, shared by its sessions.
+	plans := make([]*circuit.Plan, len(circs))
+	for i, cc := range circs {
+		if plans[i], err = circuit.NewPlan(cc.c); err != nil {
+			return row, err
+		}
+	}
+
+	// Warm barrier: every session completes one run before the kill (so
+	// the victim is loaded) and before the measured window opens.
+	var warm, release, wg sync.WaitGroup
+	warm.Add(sessions)
+	release.Add(1)
+	errs := make(chan error, sessions)
+	stats := make(chan server.ClientStats, sessions)
+	maxRun := make(chan time.Duration, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc := circs[i%len(circs)]
+			sess, err := server.Dial(fleetAddr, cc.w.Name, cc.c, server.Options{
+				OT:   ot.Insecure,
+				Plan: plans[i%len(circs)],
+				Retry: server.RetryPolicy{
+					MaxAttempts:      200,
+					BaseBackoff:      time.Millisecond,
+					MaxBackoff:       8 * time.Millisecond,
+					HandshakeTimeout: time.Second,
+					Seed:             uint64(300 + i),
+				},
+			})
+			if err != nil {
+				warm.Done()
+				errs <- fmt.Errorf("session %d: dial: %w", i, err)
+				return
+			}
+			defer sess.Close()
+			run := func(r int) (time.Duration, error) {
+				t0 := time.Now()
+				out, err := sess.Run(cc.eval)
+				if err != nil {
+					return 0, fmt.Errorf("session %d run %d: %w", i, r, err)
+				}
+				for j := range cc.want {
+					if out[j] != cc.want[j] {
+						return 0, fmt.Errorf("session %d run %d: output %d diverged from plaintext oracle", i, r, j)
+					}
+				}
+				return time.Since(t0), nil
+			}
+			if _, err := run(-1); err != nil {
+				warm.Done()
+				errs <- err
+				return
+			}
+			warm.Done()
+			release.Wait()
+			var slowest time.Duration
+			for r := 0; r < runsPerSession; r++ {
+				d, err := run(r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if d > slowest {
+					slowest = d
+				}
+			}
+			maxRun <- slowest
+			stats <- sess.Stats()
+		}(i)
+	}
+	warm.Wait()
+	if kill {
+		// Close the backend carrying the most sessions: the one whose
+		// loss forces the most failovers.
+		victim := addrs[0]
+		var most uint64
+		for _, b := range fl.Stats().Backends {
+			if b.SessionsRouted >= most {
+				victim, most = b.Addr, b.SessionsRouted
+			}
+		}
+		addrToSrv[victim].Close()
+	}
+	start := time.Now()
+	release.Done()
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	close(stats)
+	close(maxRun)
+	for err := range errs {
+		return row, err
+	}
+
+	row.Runs = sessions * runsPerSession
+	row.RunsPerSec = float64(row.Runs) / elapsed.Seconds()
+	for st := range stats {
+		row.Reconnects += st.Reconnects
+	}
+	for d := range maxRun {
+		if ms := float64(d) / float64(time.Millisecond); ms > row.MaxRunMillis {
+			row.MaxRunMillis = ms
+		}
+	}
+	for _, srv := range srvs {
+		st := srv.Stats()
+		row.CacheHits += st.CacheHits
+		row.CacheMisses += st.CacheMisses
+	}
+	row.Failovers = fl.Stats().Failovers
+	row.PlanBuilds = circuit.PlanBuilds() - buildsBefore
+	if want := uint64(2 * len(circs)); !kill && row.PlanBuilds != want {
+		return row, fmt.Errorf("plan builds = %d at %d backends, want %d (digest sharding should pin each circuit to one backend)", row.PlanBuilds, backends, want)
+	}
+	return row, nil
+}

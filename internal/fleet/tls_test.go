@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+
+	"haac/internal/ot"
+	"haac/internal/server"
+	"haac/internal/workloads"
+)
+
+// selfSignedTLS mints a throwaway loopback certificate pair for the
+// fleet's TLS hops.
+func selfSignedTLS(t *testing.T) (serverCfg, clientCfg *tls.Config) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "haac-fleet-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.IPv4(127, 0, 0, 1)},
+		DNSNames:              []string{"localhost"},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	serverCfg = &tls.Config{Certificates: []tls.Certificate{{
+		Certificate: [][]byte{der},
+		PrivateKey:  key,
+		Leaf:        leaf,
+	}}}
+	clientCfg = &tls.Config{RootCAs: pool, ServerName: "localhost"}
+	return serverCfg, clientCfg
+}
+
+// TestFleetTLSBothHops runs TLS on both legs of the proxy: the client
+// reaches the fleet over Config.TLS and the fleet reaches a TLS-serving
+// backend over Config.BackendTLS. The spliced session stays
+// byte-identical to the plaintext oracle — the proxy relays the
+// decrypted handshake bytes verbatim, so TLS on either hop is invisible
+// to the 2PC wire format.
+func TestFleetTLSBothHops(t *testing.T) {
+	serverCfg, clientCfg := selfSignedTLS(t)
+	w := workloads.AddN(8)
+	c := w.Build()
+	garblerBits, _ := w.Inputs(1)
+	srv, err := server.New(server.Config{
+		Circuits: []server.CircuitSpec{{
+			ID:      w.Name,
+			Circuit: c,
+			Inputs:  func() []bool { return garblerBits },
+		}},
+		Seed:            42,
+		AllowInsecureOT: true,
+		TLS:             serverCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	_, fleetAddr := startFleet(t, Config{
+		Backends:      []Backend{{Addr: ln.Addr().String()}},
+		ProbeInterval: -1,
+		TLS:           serverCfg,
+		BackendTLS:    clientCfg,
+	})
+
+	sess, err := server.Dial(fleetAddr, w.Name, c, server.Options{OT: ot.Insecure, TLS: clientCfg})
+	if err != nil {
+		t.Fatalf("TLS dial through fleet: %v", err)
+	}
+	defer sess.Close()
+	for run := 0; run < 2; run++ {
+		_, evalBits := w.Inputs(int64(200 + run))
+		want, err := c.Eval(garblerBits, evalBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Run(evalBits)
+		if err != nil {
+			t.Fatalf("run %d over double-TLS fleet: %v", run, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("run %d: output %d = %v, want %v", run, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -146,10 +147,28 @@ type Options struct {
 	// through a fault-injecting transport, proxies through their own
 	// resolver. nil means net.Dial("tcp", addr).
 	Dialer func(addr string) (net.Conn, error)
+	// TLS, when non-nil, wraps every (re)dialed connection in a TLS
+	// client handshake against a server running with Config.TLS. The
+	// config needs ServerName (or InsecureSkipVerify) set by the caller;
+	// it composes with Dialer — the TLS layer wraps whatever transport
+	// the dialer returns. nil keeps the plaintext default.
+	TLS *tls.Config
 }
 
-// dial opens one connection via the configured dialer.
+// dial opens one connection via the configured dialer, wrapping it in
+// TLS when configured.
 func (o Options) dial(addr string) (net.Conn, error) {
+	conn, err := o.dialRaw(addr)
+	if err != nil {
+		return nil, err
+	}
+	if o.TLS != nil {
+		conn = tls.Client(conn, o.TLS)
+	}
+	return conn, nil
+}
+
+func (o Options) dialRaw(addr string) (net.Conn, error) {
 	if o.Dialer != nil {
 		return o.Dialer(addr)
 	}

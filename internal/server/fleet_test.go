@@ -216,6 +216,9 @@ func TestServeSurvivesTransientAcceptErrors(t *testing.T) {
 	if n := ln.attempts.Load(); n < 4 {
 		t.Fatalf("listener saw %d accepts, want >= 4 (3 failures + the session)", n)
 	}
+	if got := srv.Stats().AcceptRetries; got != 3 {
+		t.Fatalf("Stats().AcceptRetries = %d, want 3 (one per injected transient failure)", got)
+	}
 	select {
 	case err := <-done:
 		t.Fatalf("Serve returned early with %v", err)

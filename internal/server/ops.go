@@ -15,24 +15,42 @@ import (
 // port can be firewalled to the control plane.
 //
 //	GET /healthz  -> 200 "ok" while serving, 503 "draining" after Close
+//	GET /readyz   -> 200 "ok" while routable, 503 "busy" at the session
+//	                 cap, 503 "draining" after Close
 //	GET /metrics  -> Prometheus text exposition of Stats + plan cache
 //
-// Metric names are stable: dashboards and the future sharded proxy key
-// on them.
+// Metric names are stable: dashboards and the sharded fleet proxy key
+// on them. /healthz is liveness (the process serves at all) and
+// /readyz is routability: a server saturated at Config.MaxSessions is
+// alive but would refuse the next session busy, so a fleet probe keyed
+// on /readyz stops routing to it before a client pays the refusal.
 
-// OpsHandler returns the HTTP handler serving /healthz and /metrics.
-// Use it directly to mount the endpoints into an existing mux; ServeOps
-// runs it on its own listener.
+// OpsHandler returns the HTTP handler serving /healthz, /readyz and
+// /metrics. Use it directly to mount the endpoints into an existing
+// mux; ServeOps runs it on its own listener.
 func (s *Server) OpsHandler() http.Handler {
+	plain := func(w http.ResponseWriter, code int, body string) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(code)
+		fmt.Fprintln(w, body)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.isDraining() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
+			plain(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
-		fmt.Fprintln(w, "ok")
+		plain(w, http.StatusOK, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case s.isDraining():
+			plain(w, http.StatusServiceUnavailable, "draining")
+		case s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions):
+			plain(w, http.StatusServiceUnavailable, "busy")
+		default:
+			plain(w, http.StatusOK, "ok")
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -43,22 +61,15 @@ func (s *Server) OpsHandler() http.Handler {
 
 // ServeOps serves the operations endpoints on ln until the server
 // closes; like Serve it returns nil after Close and the listener's
-// error otherwise. Run it on a separate goroutine next to Serve.
+// error otherwise. Run it on a separate goroutine next to Serve. The
+// listener registers through the same drain-aware lifecycle as the
+// session listeners, so ServeOps never races Close over the draining
+// flag or the listener set.
 func (s *Server) ServeOps(ln net.Listener) error {
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		ln.Close()
-		return ErrDraining
+	if err := s.registerListener(ln); err != nil {
+		return err
 	}
-	s.listeners[ln] = struct{}{}
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.listeners, ln)
-		s.mu.Unlock()
-		ln.Close()
-	}()
+	defer s.unregisterListener(ln)
 	srv := &http.Server{Handler: s.OpsHandler(), ReadHeaderTimeout: 10 * time.Second}
 	err := srv.Serve(ln)
 	if s.isDraining() {
@@ -84,6 +95,7 @@ func (s *Server) metricsText() string {
 	counter("haac_sessions_force_closed_total", "Sessions force-closed after the drain grace period.", float64(st.SessionsForceClosed))
 	counter("haac_runs_total", "Garbled runs served to completion.", float64(st.RunsServed))
 	counter("haac_runs_failed_total", "Runs that started but errored (dead peer, run deadline, protocol failure).", float64(st.RunsFailed))
+	counter("haac_accept_retries_total", "Transient Accept errors retried with backoff instead of tearing down the listener.", float64(st.AcceptRetries))
 	counter("haac_run_seconds_total", "Wall-clock seconds spent in completed runs; divide by haac_runs_total for mean latency.", time.Duration(st.RunNanos).Seconds())
 	counter("haac_bytes_out_total", "Transport bytes sent across all sessions.", float64(st.BytesOut))
 	counter("haac_bytes_in_total", "Transport bytes received across all sessions.", float64(st.BytesIn))

@@ -77,6 +77,7 @@ func TestOpsEndpoints(t *testing.T) {
 		"haac_sessions_force_closed_total 0",
 		"haac_runs_total 1",
 		"haac_runs_failed_total 0",
+		"haac_accept_retries_total 0",
 		"haac_run_seconds_total",
 		"haac_bytes_out_total",
 		"haac_bytes_in_total",
@@ -99,6 +100,99 @@ func TestOpsEndpoints(t *testing.T) {
 	}
 	if _, body := get(t, ops.URL+"/metrics"); !strings.Contains(body, "haac_draining 1") {
 		t.Errorf("metrics after Close missing haac_draining 1:\n%s", body)
+	}
+}
+
+// TestReadyzStates walks /readyz through its three answers: 200 "ok"
+// while routable, 503 "busy" while saturated at MaxSessions (the
+// process is alive — /healthz stays 200 — but the next session would be
+// refused), and 503 "draining" after Close.
+func TestReadyzStates(t *testing.T) {
+	w := workloads.AddN(8)
+	c := w.Build()
+	g, _ := w.Inputs(1)
+	srv, addr := startServer(t, Config{
+		Circuits:        []CircuitSpec{{ID: "add", Circuit: c, Inputs: func() []bool { return g }}},
+		Seed:            15,
+		MaxSessions:     1,
+		AllowInsecureOT: true,
+	})
+	ops := httptest.NewServer(srv.OpsHandler())
+	defer ops.Close()
+
+	if code, body := get(t, ops.URL+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("readyz while routable: %d %q, want 200 ok", code, body)
+	}
+
+	// Saturate the session cap: readyz flips to busy, healthz stays ok.
+	sess, err := Dial(addr, "add", c, Options{OT: ot.Insecure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if code, body := get(t, ops.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "busy") {
+		t.Fatalf("readyz at MaxSessions: %d %q, want 503 busy", code, body)
+	}
+	if code, _ := get(t, ops.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz at MaxSessions: %d, want 200 (saturated is alive, just not routable)", code)
+	}
+
+	// Free the slot: routable again once the server retires the session.
+	sess.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, _ := get(t, ops.URL+"/readyz")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never recovered after the session closed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv.Close()
+	if code, body := get(t, ops.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("readyz after Close: %d %q, want 503 draining", code, body)
+	}
+}
+
+// TestServeOpsRacesClose drives ServeOps listeners concurrently against
+// Close: the sidecar registers through the same drain-aware lifecycle
+// as the session listeners, so no schedule can leak a listener past
+// Close or trip the race detector over the draining flag. Run under
+// -race in CI.
+func TestServeOpsRacesClose(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		c := workloads.AddN(8).Build()
+		srv, err := New(Config{Circuits: []CircuitSpec{{ID: "add", Circuit: c}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const listeners = 4
+		lns := make([]net.Listener, listeners)
+		for i := range lns {
+			if lns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done := make(chan error, listeners)
+		for _, ln := range lns {
+			go func(ln net.Listener) { done <- srv.ServeOps(ln) }(ln)
+		}
+		// No synchronization: Close races the ServeOps registrations.
+		srv.Close()
+		for i := 0; i < listeners; i++ {
+			// Both outcomes of the race are legal — a listener that
+			// registered before Close winds down with nil, one that lost
+			// the race is refused ErrDraining — but nothing else is.
+			if err := <-done; err != nil && err != ErrDraining {
+				t.Fatalf("trial %d: ServeOps racing Close returned %v", trial, err)
+			}
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -71,6 +72,12 @@ type Config struct {
 	// a remote peer must not be able to downgrade the OT; enable it only
 	// for benchmarks and tests.
 	AllowInsecureOT bool
+	// TLS, when non-nil, wraps every listener passed to Serve so the
+	// session wire (handshake and the 2PC byte stream) runs over TLS.
+	// The ops sidecar is unaffected — it is plain HTTP meant to be
+	// firewalled to the control plane. nil keeps the plaintext
+	// transport, which remains the default for tests and loopback use.
+	TLS *tls.Config
 }
 
 // defaultDrainTimeout bounds Close when Config.DrainTimeout is zero.
@@ -97,6 +104,10 @@ type Stats struct {
 	// RunsFailed counts runs that started but errored (dead peers, run
 	// deadlines, protocol failures).
 	RunsFailed uint64
+	// AcceptRetries counts transient Accept errors (timeouts, aborted
+	// connections, fd pressure) the accept loop retried with backoff
+	// instead of tearing down the listener.
+	AcceptRetries uint64
 	// RunNanos accumulates the wall-clock duration of completed runs;
 	// RunNanos/RunsServed is the mean serve latency, and the pair
 	// exports as a Prometheus summary (_sum/_count).
@@ -176,6 +187,7 @@ type Server struct {
 	runNanos      atomic.Uint64
 	refused       atomic.Uint64
 	forceClosed   atomic.Uint64
+	acceptRetries atomic.Uint64
 	seq           atomic.Uint64 // per-runner deterministic seed sequence
 }
 
@@ -245,30 +257,48 @@ func (s *Server) Stats() Stats {
 		SessionsForceClosed: s.forceClosed.Load(),
 		RunsFailed:          s.runsFailed.Load(),
 		RunNanos:            s.runNanos.Load(),
+		AcceptRetries:       s.acceptRetries.Load(),
 	}
 }
 
 // Cache returns the server's shared plan cache.
 func (s *Server) Cache() *PlanCache { return s.cache }
 
-// Serve accepts sessions on ln until the server closes; it may be
-// called concurrently on several listeners. It returns nil after Close
-// and the listener's error otherwise.
-func (s *Server) Serve(ln net.Listener) error {
+// registerListener adds ln to the set Close tears down, refusing (and
+// closing ln) when the server is already draining. unregisterListener
+// removes and closes it; both Serve and ServeOps share this lifecycle
+// so every listener — session or ops — is observed by exactly one
+// drain path.
+func (s *Server) registerListener(ln net.Listener) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.draining {
-		s.mu.Unlock()
 		ln.Close()
 		return ErrDraining
 	}
 	s.listeners[ln] = struct{}{}
+	return nil
+}
+
+func (s *Server) unregisterListener(ln net.Listener) {
+	s.mu.Lock()
+	delete(s.listeners, ln)
 	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.listeners, ln)
-		s.mu.Unlock()
-		ln.Close()
-	}()
+	ln.Close()
+}
+
+// Serve accepts sessions on ln until the server closes; it may be
+// called concurrently on several listeners. When Config.TLS is set the
+// listener is wrapped so every session runs over TLS. It returns nil
+// after Close and the listener's error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.cfg.TLS != nil {
+		ln = tls.NewListener(ln, s.cfg.TLS)
+	}
+	if err := s.registerListener(ln); err != nil {
+		return err
+	}
+	defer s.unregisterListener(ln)
 	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
@@ -280,6 +310,7 @@ func (s *Server) Serve(ln net.Listener) error {
 				// One flaky accept (timeout, aborted connection, fd
 				// pressure) must not tear down the whole listener: back
 				// off with a cap and keep accepting.
+				s.acceptRetries.Add(1)
 				if backoff == 0 {
 					backoff = 5 * time.Millisecond
 				} else if backoff *= 2; backoff > time.Second {

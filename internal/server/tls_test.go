@@ -1,0 +1,161 @@
+package server
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+
+	"haac/internal/ot"
+	"haac/internal/workloads"
+)
+
+// selfSignedTLS mints a throwaway loopback certificate and returns the
+// server config serving it and a client config that trusts exactly that
+// certificate.
+func selfSignedTLS(t *testing.T) (serverCfg, clientCfg *tls.Config) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "haac-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.IPv4(127, 0, 0, 1)},
+		DNSNames:              []string{"localhost"},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	serverCfg = &tls.Config{Certificates: []tls.Certificate{{
+		Certificate: [][]byte{der},
+		PrivateKey:  key,
+		Leaf:        leaf,
+	}}}
+	clientCfg = &tls.Config{RootCAs: pool, ServerName: "localhost"}
+	return serverCfg, clientCfg
+}
+
+// TestTLSSessionByteIdentical runs the serving path over TLS end to
+// end: a server with Config.TLS on a loopback listener, a client
+// dialing with Options.TLS against a self-signed pair, runs
+// byte-identical to the plaintext oracle — and the retry policy redials
+// through the TLS handshake after a mid-session break.
+func TestTLSSessionByteIdentical(t *testing.T) {
+	serverCfg, clientCfg := selfSignedTLS(t)
+	w := workloads.AddN(8)
+	c := w.Build()
+	garblerBits, _ := w.Inputs(1)
+	srv, addr := startServer(t, Config{
+		Circuits: []CircuitSpec{{
+			ID:      w.Name,
+			Circuit: c,
+			Inputs:  func() []bool { return garblerBits },
+		}},
+		Seed:            42,
+		AllowInsecureOT: true,
+		TLS:             serverCfg,
+	})
+	defer srv.Close()
+
+	sess, err := Dial(addr, w.Name, c, Options{
+		OT:  ot.Insecure,
+		TLS: clientCfg,
+		Retry: RetryPolicy{
+			MaxAttempts: 5,
+			BaseBackoff: time.Millisecond,
+			Seed:        1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("TLS dial: %v", err)
+	}
+	defer sess.Close()
+	for run := 0; run < 3; run++ {
+		_, evalBits := w.Inputs(int64(100 + run))
+		want, err := c.Eval(garblerBits, evalBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Run(evalBits)
+		if err != nil {
+			t.Fatalf("run %d over TLS: %v", run, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("run %d: output %d = %v, want %v", run, j, got[j], want[j])
+			}
+		}
+		if run == 0 {
+			// Sever the conn under the session: the next run must redial
+			// through a fresh TLS handshake and replay.
+			sess.breakConn()
+		}
+	}
+	if cs := sess.Stats(); cs.Reconnects == 0 {
+		t.Errorf("Reconnects = %d, want > 0 after the injected break", cs.Reconnects)
+	}
+}
+
+// TestTLSRejectsPlaintextAndUntrustedClients pins the failure edges: a
+// plaintext client against a TLS listener fails its handshake rather
+// than hanging or succeeding, and a TLS client that does not trust the
+// server's certificate refuses to connect.
+func TestTLSRejectsPlaintextAndUntrustedClients(t *testing.T) {
+	serverCfg, clientCfg := selfSignedTLS(t)
+	w := workloads.AddN(8)
+	c := w.Build()
+	garblerBits, _ := w.Inputs(1)
+	_, addr := startServer(t, Config{
+		Circuits: []CircuitSpec{{
+			ID:      w.Name,
+			Circuit: c,
+			Inputs:  func() []bool { return garblerBits },
+		}},
+		Seed:            42,
+		AllowInsecureOT: true,
+		TLS:             serverCfg,
+	})
+
+	// Plaintext client: the hello bytes are TLS garbage to the server;
+	// bound the exchange so the failure is prompt.
+	plain := Options{OT: ot.Insecure, Dialer: func(a string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", a)
+		if err == nil {
+			conn.SetDeadline(time.Now().Add(2 * time.Second))
+		}
+		return conn, err
+	}}
+	if _, err := Dial(addr, w.Name, c, plain); err == nil {
+		t.Error("plaintext dial against a TLS listener succeeded, want handshake failure")
+	}
+
+	// Untrusted client: empty root pool, so certificate verification
+	// must fail.
+	untrusted := &tls.Config{RootCAs: x509.NewCertPool(), ServerName: clientCfg.ServerName}
+	var certErr *tls.CertificateVerificationError
+	if _, err := Dial(addr, w.Name, c, Options{OT: ot.Insecure, TLS: untrusted}); !errors.As(err, &certErr) {
+		t.Errorf("untrusted TLS dial = %v, want certificate verification error", err)
+	}
+}
