@@ -56,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runs := fs.Int("runs", 1, "client role: number of runs over the session")
 	retries := fs.Int("retries", 0, "client role: max attempts per dial/run (>1 enables transparent reconnect and replay)")
 	retryBackoff := fs.Duration("retry-backoff", 0, "client role: base backoff between retries (doubles per attempt, 0 = 50ms default)")
+	integrity := fs.Bool("integrity", true, "client role: request the checksummed-frame wire tier (detects corruption, resumes broken transfers; falls back if the server declines)")
+	maxRunBytes := fs.Int64("max-run-bytes", 0, "client role: per-run transport byte budget; a breach fails the run with a typed error (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -91,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if strings.EqualFold(*role, "client") {
 		return runClient(stdout, stderr, *addr, w, *value, *runs, server.Options{
 			OT: otp, Workers: *workers, Pipelined: *pipelined,
+			Integrity: *integrity, MaxRunBytes: *maxRunBytes,
 			Retry: server.RetryPolicy{MaxAttempts: *retries, BaseBackoff: *retryBackoff},
 		})
 	}
@@ -158,7 +161,11 @@ func runClient(stdout, stderr io.Writer, addr string, w workloads.Workload, valu
 		return 1
 	}
 	defer sess.Close()
-	fmt.Fprintf(stdout, "client: session open to %s (%s, server plan %d slots)\n", addr, w.Name, sess.NumSlots())
+	wire := "legacy wire"
+	if sess.Integrity() {
+		wire = "integrity wire"
+	}
+	fmt.Fprintf(stdout, "client: session open to %s (%s, server plan %d slots, %s)\n", addr, w.Name, sess.NumSlots(), wire)
 	bits := circuit.UintToBools(value, c.EvaluatorInputs)
 	for i := 0; i < runs; i++ {
 		out, err := sess.Run(bits)
@@ -170,8 +177,11 @@ func runClient(stdout, stderr io.Writer, addr string, w workloads.Workload, valu
 		fmt.Fprintf(stdout, "run %d result as integer: %d\n", i+1, circuit.BoolsToUint(out))
 	}
 	if st := sess.Stats(); st.Retries > 0 || st.Reconnects > 0 || st.DialFailures > 0 {
-		fmt.Fprintf(stdout, "client: healed %d retried runs over %d reconnects (%d failed redials)\n",
-			st.Retries, st.Reconnects, st.DialFailures)
+		fmt.Fprintf(stdout, "client: healed %d retried runs (%d resumed mid-stream, %d fully replayed) over %d reconnects (%d failed redials)\n",
+			st.Retries, st.Resumes, st.Retries-st.Resumes, st.Reconnects, st.DialFailures)
+	}
+	if st := sess.Stats(); st.IntegrityFailures > 0 {
+		fmt.Fprintf(stdout, "client: detected %d corrupted transfers via frame checksums\n", st.IntegrityFailures)
 	}
 	return 0
 }

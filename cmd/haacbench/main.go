@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 fig6 fig7 fig8 fig9
 // fig10 garbler rekey parallel ot transport memory serving chaos
-// fleet ablation multicore segsweep coupling (or "all"). The list is defined once in experiments();
+// integrity fleet ablation multicore segsweep coupling (or "all"). The list is defined once in experiments();
 // main_test.go checks this comment and the flag help against it, so
 // the three cannot drift apart.
 package main
@@ -105,6 +105,10 @@ func experiments() []experiment {
 		}},
 		{"chaos", "serving under injected faults: drop rate vs runs/s, reconnects, failed runs", func(env *bench.Env) (string, error) {
 			_, s, err := env.Chaos()
+			return s, err
+		}},
+		{"integrity", "checksummed wire tier: overhead vs legacy, corruption detect/resume", func(env *bench.Env) (string, error) {
+			_, s, err := env.Integrity()
 			return s, err
 		}},
 		{"fleet", "digest-sharded front proxy: backends vs runs/s, failover, plan locality", func(env *bench.Env) (string, error) {

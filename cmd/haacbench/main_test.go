@@ -77,14 +77,14 @@ func TestAllExperimentNamesSelectable(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5",
 		"fig6", "fig7", "fig8", "fig9", "fig10",
 		"garbler", "rekey", "parallel", "ot", "transport",
-		"memory", "serving", "chaos", "fleet", "ablation", "multicore", "segsweep", "coupling",
+		"memory", "serving", "chaos", "integrity", "fleet", "ablation", "multicore", "segsweep", "coupling",
 	} {
 		if !known[n] {
 			t.Errorf("documented experiment %q is not in experiments()", n)
 		}
 	}
-	if len(known) != 23 {
-		t.Errorf("experiments() has %d entries, docs list 23 — update both", len(known))
+	if len(known) != 24 {
+		t.Errorf("experiments() has %d entries, docs list 24 — update both", len(known))
 	}
 }
 

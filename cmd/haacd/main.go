@@ -20,6 +20,12 @@
 // cannot pin a session; -allow-insecure-ot must be set explicitly
 // before the daemon accepts sessions requesting the choice-revealing
 // insecure OT (benchmarks only — never enable it facing real peers).
+// -max-circuit-bytes and -max-run-bytes set per-session resource
+// budgets: oversized circuits are refused at handshake and runs that
+// outgrow their declared stream size are cut off, both with typed
+// refusals, so one greedy session cannot starve the rest.
+// -no-integrity declines the checksummed-frame wire tier that clients
+// request by default; they fall back to the legacy unframed wire.
 // -tls-cert/-tls-key (a PEM pair, set together) wrap the session
 // listener in TLS; clients then dial with RunOptions.TLS. The ops
 // sidecar stays plain HTTP either way — firewall it to the control
@@ -74,6 +80,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	runTimeout := fs.Duration("run-timeout", 0, "per-run deadline; a peer stalling mid-run past it loses the session (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 0, "shutdown grace for in-flight runs before force-close (0 = 30s default)")
 	allowInsecure := fs.Bool("allow-insecure-ot", false, "accept sessions requesting the choice-revealing insecure OT (benchmarks only)")
+	noIntegrity := fs.Bool("no-integrity", false, "decline the checksummed-frame wire tier; integrity clients fall back to the legacy wire")
+	maxCircuitBytes := fs.Int64("max-circuit-bytes", 0, "refuse circuits whose labels and tables would hold more resident bytes than this (0 = unlimited)")
+	maxRunBytes := fs.Int64("max-run-bytes", 0, "per-run transport byte budget; breaching runs are cut off with a typed refusal (0 = unlimited)")
 	tlsCert := fs.String("tls-cert", "", "PEM certificate for TLS on the session listener (requires -tls-key; empty = plaintext)")
 	tlsKey := fs.String("tls-key", "", "PEM private key for TLS on the session listener (requires -tls-cert)")
 	if err := fs.Parse(args); err != nil {
@@ -94,14 +103,17 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		return 2
 	}
 	srv, err := server.New(server.Config{
-		Circuits:        specs,
-		PlanCacheSize:   *cacheSize,
-		Workers:         *workers,
-		MaxSessions:     *maxSessions,
-		RunTimeout:      *runTimeout,
-		DrainTimeout:    *drainTimeout,
-		AllowInsecureOT: *allowInsecure,
-		TLS:             tlsCfg,
+		Circuits:         specs,
+		PlanCacheSize:    *cacheSize,
+		Workers:          *workers,
+		MaxSessions:      *maxSessions,
+		RunTimeout:       *runTimeout,
+		DrainTimeout:     *drainTimeout,
+		AllowInsecureOT:  *allowInsecure,
+		TLS:              tlsCfg,
+		DisableIntegrity: *noIntegrity,
+		MaxCircuitBytes:  *maxCircuitBytes,
+		MaxRunBytes:      *maxRunBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)

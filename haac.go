@@ -290,10 +290,24 @@ type RunOptions struct {
 	// with ServerConfig.TLS / FleetConfig.TLS. nil keeps the plaintext
 	// default; the direct-connection entry points ignore it.
 	TLS *tls.Config
+	// Integrity requests the checksummed-frame wire tier: every
+	// post-handshake byte travels in length+CRC32C frames, so corruption
+	// anywhere in the stream surfaces as a typed retryable ErrIntegrity
+	// instead of silently wrong outputs, and a session under a retry
+	// policy resumes a broken bulk transfer from the last verified chunk
+	// instead of replaying it. Sessions negotiate the tier at handshake
+	// and fall back to the legacy wire against servers that decline
+	// (check Session.Integrity); the direct-connection entry points
+	// frame both directions unconditionally when set.
+	Integrity bool
+	// MaxRunBytes, when positive, bounds the transport bytes a dialed
+	// session moves for one run; a breach surfaces as a permanent
+	// ErrOverBudget. The server-side mirror is ServerConfig.MaxRunBytes.
+	MaxRunBytes int64
 }
 
 func (o RunOptions) proto() proto.Options {
-	popts := proto.Options{OT: ot.DH, Workers: o.Workers, Pipelined: o.Pipelined}
+	popts := proto.Options{OT: ot.DH, Workers: o.Workers, Pipelined: o.Pipelined, Integrity: o.Integrity}
 	if o.Plan != nil {
 		popts.Plan = o.Plan.plan
 	}
@@ -416,6 +430,18 @@ var (
 	// oversized length fields, unknown status or ack bytes — corruption
 	// or a peer that does not speak the protocol.
 	ErrMalformedFrame = server.ErrMalformedFrame
+	// ErrIntegrity: a checksummed frame failed verification — the bytes
+	// were damaged in transit. Retryable; under RunOptions.Retry the
+	// session heals by reconnecting and resuming the broken transfer.
+	ErrIntegrity = proto.ErrIntegrity
+	// ErrOverBudget: the session or run was refused by a resource
+	// budget (ServerConfig.MaxCircuitBytes / MaxRunBytes or the
+	// client-side RunOptions.MaxRunBytes). Permanent — retrying the
+	// same circuit against the same budget cannot succeed.
+	ErrOverBudget = server.ErrOverBudget
+	// ErrInternal: the server contained a panic in this session's
+	// handler and refused it; other sessions are unaffected. Retryable.
+	ErrInternal = server.ErrInternal
 )
 
 // NewServer builds a serving garbler from cfg; start it with
@@ -453,7 +479,15 @@ func Dial(addr, circuitID string, c *Circuit) (*Session, error) {
 // re-handshakes and replays runs broken by transport faults, and
 // Session.Stats counts the repair work.
 func DialWith(addr, circuitID string, c *Circuit, opts RunOptions) (*Session, error) {
-	sopts := server.Options{OT: ot.DH, Workers: opts.Workers, Pipelined: opts.Pipelined, Retry: opts.Retry, TLS: opts.TLS}
+	sopts := server.Options{
+		OT:          ot.DH,
+		Workers:     opts.Workers,
+		Pipelined:   opts.Pipelined,
+		Retry:       opts.Retry,
+		TLS:         opts.TLS,
+		Integrity:   opts.Integrity,
+		MaxRunBytes: opts.MaxRunBytes,
+	}
 	if opts.Plan != nil {
 		sopts.Plan = opts.Plan.plan
 	}

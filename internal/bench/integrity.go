@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"haac/internal/circuit"
+	"haac/internal/faultnet"
+	"haac/internal/ot"
+	"haac/internal/proto"
+	"haac/internal/server"
+	"haac/internal/workloads"
+)
+
+// Integrity experiment: the price and the payoff of the checksummed-
+// frame wire tier. Three configurations run the same workload against
+// one serving garbler: the legacy unframed wire, the integrity wire on
+// a clean transport (pricing the checksum overhead), and the integrity
+// wire through whole-stream bit corruption (pricing the detect->resume
+// repair). Every run's output is checked against the plaintext oracle,
+// so the corrupted configuration doubles as an end-to-end proof that
+// corruption anywhere in the stream is detected and healed, never
+// silently wrong.
+
+// IntegrityRow reports one wire configuration.
+type IntegrityRow struct {
+	Config       string  // legacy | integrity | integrity+corruption
+	Runs         int     // completed runs, all oracle-checked
+	RunsPerSec   float64 // throughput, shape only
+	BytesPerRun  int64   // transport bytes (both directions) per run
+	BytesPerGate float64 // BytesPerRun over the circuit's gate count
+	OverheadPct  float64 // byte overhead vs the legacy row (0 for it)
+	Resumes      uint64  // broken transfers continued mid-stream
+	Detected     uint64  // corrupted frames caught by checksums
+}
+
+// Integrity measures the wire-tier overhead and the resume repair
+// path on the AES-128 workload (a ~200 KB table stream, so mid-run
+// breaks leave substantial verified prefixes behind).
+func (e *Env) Integrity() ([]IntegrityRow, string, error) {
+	w := workloads.AES128()
+	c := w.Build()
+	garblerBits, _ := w.Inputs(3)
+	runs := 6
+	if e.Scale == Paper {
+		runs = 12
+	}
+
+	configs := []struct {
+		name      string
+		integrity bool
+		plan      faultnet.Plan
+	}{
+		{"legacy", false, faultnet.Plan{}},
+		{"integrity", true, faultnet.Plan{}},
+		{"integrity+corruption", true, faultnet.Plan{Seed: 0x1A7E57, CorruptRate: 0.1}},
+	}
+
+	var rows []IntegrityRow
+	for _, cfg := range configs {
+		row, err := e.integrityConfig(w, c, garblerBits, cfg.name, cfg.integrity, cfg.plan, runs)
+		if err != nil {
+			return nil, "", fmt.Errorf("integrity: %s: %w", cfg.name, err)
+		}
+		rows = append(rows, row)
+	}
+	legacy := float64(rows[0].BytesPerRun)
+	for i := range rows {
+		rows[i].OverheadPct = (float64(rows[i].BytesPerRun) - legacy) / legacy * 100
+	}
+
+	header := []string{"wire", "runs", "runs/s", "bytes/run", "bytes/gate", "overhead %", "resumes", "detected"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Config,
+			fmt.Sprint(r.Runs),
+			fmt.Sprintf("%.0f", r.RunsPerSec),
+			fmt.Sprint(r.BytesPerRun),
+			fmt.Sprintf("%.2f", r.BytesPerGate),
+			fmt.Sprintf("%.3f", r.OverheadPct),
+			fmt.Sprint(r.Resumes),
+			fmt.Sprint(r.Detected),
+		})
+	}
+	s := table(header, cells)
+	s += fmt.Sprintf("\n(%s over loopback TCP; the integrity wire wraps every post-handshake byte in\n"+
+		"length+CRC32C frames, so its clean-transport overhead row prices the checksums\n"+
+		"— well under 2%% of bytes/gate — while the corruption row injects whole-stream\n"+
+		"bit flips and prices the repair: every flip is detected, the broken transfer\n"+
+		"resumes from the last verified chunk, and all outputs stay byte-identical to\n"+
+		"the plaintext oracle; throughput is reported for shape only, not asserted)\n", w.Name)
+	return rows, s, nil
+}
+
+// integrityConfig runs one wire configuration end to end, all outputs
+// oracle-checked.
+func (e *Env) integrityConfig(w workloads.Workload, c *circuit.Circuit, garblerBits []bool, name string, integrity bool, fp faultnet.Plan, runs int) (IntegrityRow, error) {
+	row := IntegrityRow{Config: name}
+
+	srv, err := server.New(server.Config{
+		Circuits: []server.CircuitSpec{{
+			ID:      w.Name,
+			Circuit: c,
+			Inputs:  func() []bool { return garblerBits },
+		}},
+		Seed:            23,
+		AllowInsecureOT: true,
+		RunTimeout:      5 * time.Second,
+	})
+	if err != nil {
+		return row, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+
+	_, evalBits := w.Inputs(5)
+	want, err := c.Eval(garblerBits, evalBits)
+	if err != nil {
+		return row, err
+	}
+
+	dialer := &faultnet.Dialer{Plan: fp}
+	stats := &proto.Stats{}
+	start := time.Now()
+	sess, err := server.Dial(ln.Addr().String(), w.Name, c, server.Options{
+		OT:        ot.Insecure,
+		Integrity: integrity,
+		Stats:     stats,
+		Dialer:    dialer.Dial,
+		Retry: server.RetryPolicy{
+			MaxAttempts:      200,
+			BaseBackoff:      time.Millisecond,
+			MaxBackoff:       8 * time.Millisecond,
+			HandshakeTimeout: time.Second,
+			RunTimeout:       2 * time.Second,
+			Seed:             fp.Seed + 1,
+		},
+	})
+	if err != nil {
+		return row, err
+	}
+	defer sess.Close()
+	for r := 0; r < runs; r++ {
+		out, err := sess.Run(evalBits)
+		if err != nil {
+			return row, fmt.Errorf("run %d: %w", r, err)
+		}
+		for j := range want {
+			if out[j] != want[j] {
+				return row, fmt.Errorf("run %d: output %d diverged from plaintext oracle", r, j)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := sess.Stats()
+	row.Runs = int(st.Runs)
+	row.RunsPerSec = float64(row.Runs) / elapsed.Seconds()
+	row.BytesPerRun = (stats.BytesSent.Load() + stats.BytesReceived.Load()) / int64(runs)
+	row.BytesPerGate = float64(row.BytesPerRun) / float64(len(c.Gates))
+	row.Resumes = st.Resumes
+	row.Detected = st.IntegrityFailures
+	return row, nil
+}

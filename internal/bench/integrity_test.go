@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+func TestIntegrity(t *testing.T) {
+	e := NewEnv(Small)
+	rows, s, err := e.Integrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for i, r := range rows {
+		// Every offered run completed (each configuration verifies its
+		// outputs against the plaintext oracle internally).
+		if r.Runs != 6 || r.RunsPerSec <= 0 || r.BytesPerRun <= 0 {
+			t.Fatalf("row %d: incomplete runs %+v", i, r)
+		}
+	}
+	legacy, clean, corrupted := rows[0], rows[1], rows[2]
+	if legacy.Config != "legacy" || clean.Config != "integrity" || corrupted.Config != "integrity+corruption" {
+		t.Fatalf("unexpected row order: %+v", rows)
+	}
+	// The acceptance bound: checksummed framing costs < 2% in bytes on a
+	// clean transport.
+	if clean.OverheadPct >= 2 {
+		t.Fatalf("integrity wire overhead %.3f%% breaches the 2%% budget", clean.OverheadPct)
+	}
+	if clean.OverheadPct < 0 {
+		t.Fatalf("integrity wire measured cheaper than legacy (%.3f%%); byte accounting is broken", clean.OverheadPct)
+	}
+	// Clean rows need no repair; the corrupted row must show both the
+	// damage and the healing, or the experiment proved nothing.
+	if legacy.Resumes != 0 || legacy.Detected != 0 || clean.Resumes != 0 || clean.Detected != 0 {
+		t.Fatalf("clean rows show repair work: %+v", rows[:2])
+	}
+	if corrupted.Detected == 0 {
+		t.Fatalf("corruption configuration detected nothing: %+v", corrupted)
+	}
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+}

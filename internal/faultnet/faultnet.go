@@ -71,6 +71,13 @@ type Plan struct {
 	// corruption is detectable, without silently garbling payload bytes
 	// that carry no integrity check.
 	CorruptFirst int64
+	// CorruptAfter, when > 0, exempts the first N bytes of the inbound
+	// stream from corruption. Together with CorruptFirst it aims
+	// corruption at a window [CorruptAfter, CorruptFirst) — e.g. a
+	// precise chunk of a bulk transfer, past the handshake, on a wire
+	// tier that can detect it. Zero keeps the historical semantics
+	// (corruption from the first byte).
+	CorruptAfter int64
 
 	// MaxWriteChunk, when > 0, splits every Write into chunks of at
 	// most this many bytes (with independent drop/stall rolls per
@@ -185,16 +192,24 @@ func (c *Conn) Read(p []byte) (int, error) {
 	c.readOff += int64(n)
 	corrupt := n > 0 && c.plan.CorruptRate > 0 &&
 		(c.plan.CorruptFirst <= 0 || start < c.plan.CorruptFirst) &&
+		(c.plan.CorruptAfter <= 0 || c.readOff > c.plan.CorruptAfter) &&
 		c.rng.Float64() < c.plan.CorruptRate
-	var victim int
 	if corrupt {
-		window := n
-		if c.plan.CorruptFirst > 0 && c.plan.CorruptFirst-start < int64(n) {
-			window = int(c.plan.CorruptFirst - start)
+		// Clamp the victim to the slice of this read that overlaps the
+		// [CorruptAfter, CorruptFirst) window.
+		lo := 0
+		if c.plan.CorruptAfter > 0 && c.plan.CorruptAfter > start {
+			lo = int(c.plan.CorruptAfter - start)
 		}
-		victim = c.rng.Intn(window)
-		p[victim] ^= 1 << uint(c.rng.Intn(8))
-		c.stats.Corruptions.Add(1)
+		hi := n
+		if c.plan.CorruptFirst > 0 && c.plan.CorruptFirst-start < int64(n) {
+			hi = int(c.plan.CorruptFirst - start)
+		}
+		if hi > lo { // empty only under a misconfigured CorruptAfter >= CorruptFirst
+			victim := lo + c.rng.Intn(hi-lo)
+			p[victim] ^= 1 << uint(c.rng.Intn(8))
+			c.stats.Corruptions.Add(1)
+		}
 	}
 	c.mu.Unlock()
 	return n, err
@@ -297,11 +312,16 @@ type Dialer struct {
 	// client would hit the same byte offset on every redial and never
 	// heal.
 	DropOnce bool
+	// CorruptOnce limits corruption to the first connection: later
+	// (reconnected) connections carry a clean plan, so a test can prove
+	// one corrupted transfer heals rather than corrupting every retry.
+	CorruptOnce bool
 
 	stats     Stats
 	n         atomic.Uint64
 	droppedMu sync.Mutex
 	dropped   bool
+	corrupted bool
 }
 
 // Dial opens a fault-injected TCP connection to addr.
@@ -312,15 +332,22 @@ func (d *Dialer) Dial(addr string) (net.Conn, error) {
 	}
 	p := d.Plan
 	p.Seed = subSeed(d.Plan.Seed, d.n.Add(1))
+	d.droppedMu.Lock()
 	if d.DropOnce && p.DropAfterBytes > 0 {
-		d.droppedMu.Lock()
 		if d.dropped {
 			p.DropAfterBytes = 0
 		} else {
 			d.dropped = true
 		}
-		d.droppedMu.Unlock()
 	}
+	if d.CorruptOnce && p.CorruptRate > 0 {
+		if d.corrupted {
+			p.CorruptRate = 0
+		} else {
+			d.corrupted = true
+		}
+	}
+	d.droppedMu.Unlock()
 	return Wrap(conn, p, &d.stats), nil
 }
 

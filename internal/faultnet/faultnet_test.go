@@ -268,3 +268,89 @@ func TestListenerWrapsAccepted(t *testing.T) {
 		t.Fatalf("conns = %d, want 1", ln.Stats().Conns.Load())
 	}
 }
+
+// TestCorruptionWindowLowerBound: CorruptAfter exempts the stream
+// prefix, and together with CorruptFirst aims every flipped bit into
+// the [CorruptAfter, CorruptFirst) window even when a single read
+// spans both edges.
+func TestCorruptionWindowLowerBound(t *testing.T) {
+	c, peer := pipe(t, Plan{Seed: 6, CorruptRate: 1, CorruptAfter: 8, CorruptFirst: 12})
+	msg := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	go func() {
+		peer.Write(msg)
+		peer.Close()
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:8], msg[:8]) {
+		t.Fatalf("corruption escaped below CorruptAfter: got %v", got)
+	}
+	if !bytes.Equal(got[12:], msg[12:]) {
+		t.Fatalf("corruption escaped past CorruptFirst: got %v", got)
+	}
+	if bytes.Equal(got[8:12], msg[8:12]) {
+		t.Fatalf("rate-1 corruption never fired inside the window: got %v", got)
+	}
+	if c.Stats().Corruptions.Load() == 0 {
+		t.Fatal("corruptions not counted")
+	}
+}
+
+// TestDialerCorruptOnce: with CorruptOnce, only the first dialed
+// connection corrupts; redials carry a clean plan so one injected
+// break can heal.
+func TestDialerCorruptOnce(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				conn.Write(payload)
+				conn.Close()
+			}(conn)
+		}
+	}()
+	d := &Dialer{Plan: Plan{Seed: 9, CorruptRate: 1}, CorruptOnce: true}
+	read := func() []byte {
+		t.Helper()
+		conn, err := d.Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		got, err := io.ReadAll(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if first := read(); bytes.Equal(first, payload) {
+		t.Fatal("rate-1 corruption never fired on the first connection")
+	}
+	for i := 0; i < 3; i++ {
+		if again := read(); !bytes.Equal(again, payload) {
+			t.Fatalf("redial %d still corrupts under CorruptOnce", i)
+		}
+	}
+	if got := d.Stats().Corruptions.Load(); got == 0 {
+		t.Fatal("corruptions not counted")
+	}
+	ln.Close()
+	wg.Wait()
+}

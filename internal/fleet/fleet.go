@@ -167,6 +167,9 @@ type Stats struct {
 	// SessionsForceClosed counts splices force-closed by Drain or Close
 	// after DrainTimeout.
 	SessionsForceClosed uint64
+	// SessionsPanicked counts sessions whose routing or splice goroutine
+	// panicked and was contained — the session died, the proxy did not.
+	SessionsPanicked uint64
 }
 
 // Fleet is the front proxy. Create with New, serve one or more
@@ -195,8 +198,13 @@ type Fleet struct {
 	bytesC2B     atomic.Uint64
 	bytesB2C     atomic.Uint64
 	forceClosed  atomic.Uint64
+	panicked     atomic.Uint64
 	active       atomic.Int64
 }
+
+// testHookPanic, when non-nil, runs at the start of every accepted
+// session — the fault-injection point for the panic-containment tests.
+var testHookPanic func()
 
 // New validates the configuration and builds the proxy; probing starts
 // immediately for backends with an Ops address.
@@ -386,6 +394,18 @@ func (f *Fleet) handle(conn net.Conn) {
 		}
 		f.wg.Done()
 	}()
+	// Contain a panic to the session that raised it: one poisoned route
+	// or splice must not take down the whole proxy. Registered after the
+	// cleanup defer so it recovers first; the cleanup still runs.
+	defer func() {
+		if r := recover(); r != nil {
+			f.panicked.Add(1)
+			conn.Close()
+		}
+	}()
+	if testHookPanic != nil {
+		testHookPanic()
+	}
 
 	hs := f.cfg.HandshakeTimeout
 	if hs > 0 {
@@ -497,6 +517,15 @@ func (f *Fleet) splice(b *backend, client, bconn net.Conn) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		// This half runs on its own goroutine, outside handle's recover:
+		// contain its panics here or they kill the process.
+		defer func() {
+			if r := recover(); r != nil {
+				f.panicked.Add(1)
+				bconn.Close()
+				client.Close()
+			}
+		}()
 		f.copyHalf(bconn, client, &f.bytesC2B)
 		// Client side ended (bye, drop, or force-close): unblock the
 		// backend read.
@@ -661,6 +690,7 @@ func (f *Fleet) Stats() Stats {
 		BytesClientToBackend: f.bytesC2B.Load(),
 		BytesBackendToClient: f.bytesB2C.Load(),
 		SessionsForceClosed:  f.forceClosed.Load(),
+		SessionsPanicked:     f.panicked.Load(),
 	}
 	now := time.Now()
 	for _, b := range f.backends {

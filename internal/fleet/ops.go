@@ -95,6 +95,7 @@ func (f *Fleet) MetricsText() string {
 	counter("haac_fleet_ejections_total", "Circuit-breaker ejections.", float64(st.Ejections))
 	counter("haac_fleet_readmissions_total", "Circuit-breaker readmissions (half-open trial or probe recovery).", float64(st.Readmissions))
 	counter("haac_fleet_sessions_force_closed_total", "Splices force-closed after the drain grace period.", float64(st.SessionsForceClosed))
+	counter("haac_fleet_sessions_panicked_total", "Sessions whose routing or splice goroutine panicked and was contained.", float64(st.SessionsPanicked))
 	counter("haac_fleet_bytes_client_to_backend_total", "Bytes spliced client to backend.", float64(st.BytesClientToBackend))
 	counter("haac_fleet_bytes_backend_to_client_total", "Bytes spliced backend to client.", float64(st.BytesBackendToClient))
 

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"haac/internal/ot"
+	"haac/internal/server"
+	"haac/internal/workloads"
+)
+
+// TestFleetPanicContainment: a panic inside one session's routing
+// goroutine is contained — the client heals by redial, the counter
+// trips, the metric exports, and the proxy keeps routing fresh
+// sessions. The integrity tier negotiates end to end through the
+// splice.
+func TestFleetPanicContainment(t *testing.T) {
+	w := workloads.AddN(8)
+	c := w.Build()
+	specs := specsFor(w)
+	srv, addr := launchServer(t, "127.0.0.1:0", specs)
+	defer srv.Close()
+
+	var calls atomic.Int32
+	testHookPanic = func() {
+		if calls.Add(1) == 1 {
+			panic("poisoned routing state")
+		}
+	}
+	defer func() { testHookPanic = nil }()
+
+	f, fleetAddr := startFleet(t, Config{
+		Backends:      []Backend{{Addr: addr}},
+		ProbeInterval: -1,
+	})
+
+	sess, err := server.Dial(fleetAddr, w.Name, c, server.Options{
+		OT:        ot.Insecure,
+		Integrity: true,
+		Retry: server.RetryPolicy{
+			MaxAttempts: 10,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  8 * time.Millisecond,
+			Seed:        7,
+		},
+	})
+	if err != nil {
+		t.Fatalf("dial did not heal past the panicked session: %v", err)
+	}
+	defer sess.Close()
+	if !sess.Integrity() {
+		t.Fatal("integrity tier did not negotiate through the fleet splice")
+	}
+	evalBits, want := oracle(t, w, c, 3)
+	got, err := sess.Run(evalBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("output %d = %v, want %v", j, got[j], want[j])
+		}
+	}
+
+	if st := f.Stats(); st.SessionsPanicked == 0 {
+		t.Fatalf("SessionsPanicked = 0, want >= 1 (stats %+v)", st)
+	}
+	if m := f.MetricsText(); !strings.Contains(m, "haac_fleet_sessions_panicked_total 1") {
+		t.Fatalf("metrics missing panicked counter:\n%s", m)
+	}
+
+	// Still serving: a second, hook-clean session routes fine.
+	fresh, err := server.Dial(fleetAddr, w.Name, c, server.Options{OT: ot.Insecure})
+	if err != nil {
+		t.Fatalf("fleet stopped routing after a contained panic: %v", err)
+	}
+	fresh.Close()
+}

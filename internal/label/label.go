@@ -164,3 +164,13 @@ func (s *Source) NextDelta() L {
 	l.Lo |= 1
 	return l
 }
+
+// State returns the source's current state without advancing it. A
+// source reseeded with this value replays the draws that follow — the
+// hook that lets a garbler re-emit a run's deterministic label stream
+// when a broken transfer resumes.
+func (s *Source) State() uint64 { return s.state }
+
+// Reseed resets the source to a previously captured State (or any
+// seed), so subsequent draws replay deterministically.
+func (s *Source) Reseed(seed uint64) { s.state = seed }

@@ -99,16 +99,20 @@ func insecureSend(conn io.ReadWriter, pairs []Pair) error {
 	if _, err := io.ReadFull(conn, choice); err != nil {
 		return fmt.Errorf("ot: reading choices: %w", err)
 	}
-	buf := make([]byte, label.Size)
+	// One batched write: per-label writes would each become their own
+	// frame on a framed transport, tripling the phase's wire overhead
+	// and multiplying its corruption surface. The byte stream is
+	// identical either way.
+	out := make([]byte, label.Size*len(pairs))
 	for i, p := range pairs {
 		m := p.M0
 		if choice[i] == 1 {
 			m = p.M1
 		}
-		m.Put(buf)
-		if _, err := conn.Write(buf); err != nil {
-			return fmt.Errorf("ot: sending message %d: %w", i, err)
-		}
+		m.Put(out[i*label.Size:])
+	}
+	if _, err := conn.Write(out); err != nil {
+		return fmt.Errorf("ot: sending messages: %w", err)
 	}
 	return nil
 }
@@ -198,6 +202,10 @@ func dhReceive(conn io.ReadWriter, choices []bool) ([]label.L, error) {
 
 	type state struct{ b *big.Int }
 	states := make([]state, len(choices))
+	// One batched write for the B points, mirroring the sender's
+	// batched ciphertext phase: identical bytes, far fewer frames on a
+	// framed transport.
+	bPoints := make([]byte, pointSize*len(choices))
 	for i, c := range choices {
 		b, err := rand.Int(rand.Reader, curve.Params().N)
 		if err != nil {
@@ -208,9 +216,10 @@ func dhReceive(conn io.ReadWriter, choices []bool) ([]label.L, error) {
 		if c {
 			bx, by = curve.Add(bx, by, ax, ay)
 		}
-		if _, err := conn.Write(elliptic.Marshal(curve, bx, by)); err != nil {
-			return nil, fmt.Errorf("ot: sending B[%d]: %w", i, err)
-		}
+		copy(bPoints[i*pointSize:], elliptic.Marshal(curve, bx, by))
+	}
+	if _, err := conn.Write(bPoints); err != nil {
+		return nil, fmt.Errorf("ot: sending B points: %w", err)
 	}
 
 	out := make([]label.L, len(choices))

@@ -24,6 +24,13 @@ var ErrPeerClosed = errors.New("peer closed connection mid-protocol")
 // retry on a fresh connection.
 var ErrMalformedFrame = errors.New("malformed frame")
 
+// ErrIntegrity marks a checksummed frame that failed verification: the
+// CRC32C did not match or the length field was out of bounds. It means
+// the transport delivered damaged bytes — retryable, because the
+// integrity tier's whole point is turning silent corruption into a
+// typed failure a self-healing client can resume from.
+var ErrIntegrity = errors.New("frame failed integrity check")
+
 // ErrDeadline marks protocol failures caused by a connection deadline
 // expiring mid-run — the signal a serving layer's per-run timeout
 // raises against a peer that went silent. Typed separately from

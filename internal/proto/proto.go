@@ -65,6 +65,13 @@ type Options struct {
 	// Share one plan across runs to amortize schedule construction and
 	// renaming. The wire format is unchanged.
 	Plan *circuit.Plan
+	// Integrity wraps the run's entire byte stream — both directions —
+	// in length+CRC32C frames (see FramedConn), so transport corruption
+	// surfaces as a typed ErrIntegrity instead of garbage outputs. Both
+	// parties must agree: the serving layer negotiates it in its
+	// handshake; one-shot callers coordinate out of band. Off by default,
+	// keeping the legacy byte-identical wire.
+	Integrity bool
 }
 
 func (o *Options) fill() error {
@@ -290,6 +297,9 @@ func RunGarbler(conn io.ReadWriter, c *circuit.Circuit, garblerBits []bool, opts
 		return nil, fmt.Errorf("proto: Options.Plan was compiled from a different circuit")
 	}
 	conn = instrument(conn, &opts)
+	if opts.Integrity {
+		conn = NewFramedConn(conn)
+	}
 	opts.Stats.begin()
 	defer opts.Stats.end()
 	w := bufio.NewWriterSize(conn, 1<<16)
@@ -395,6 +405,9 @@ func RunEvaluator(conn io.ReadWriter, c *circuit.Circuit, evalBits []bool, opts 
 		return nil, fmt.Errorf("proto: Options.Plan was compiled from a different circuit")
 	}
 	conn = instrument(conn, &opts)
+	if opts.Integrity {
+		conn = NewFramedConn(conn)
+	}
 	opts.Stats.begin()
 	defer opts.Stats.end()
 	rd := bufio.NewReaderSize(conn, 1<<16)

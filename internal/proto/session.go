@@ -30,17 +30,25 @@ import (
 // and one precompiled plan. It is not safe for concurrent use; a server
 // pools sessions and gives each connection its own.
 type GarblerSession struct {
-	opts  Options
-	c     *circuit.Circuit
-	rw    io.ReadWriter
-	w     *bufio.Writer
-	pg    *gc.PlanGarbler
-	src   *label.Source
-	emit  func(tables []gc.Material) error
-	hdr   [headerSize]byte
-	pairs []ot.Pair
-	res   []byte
-	out   []bool
+	opts     Options
+	c        *circuit.Circuit
+	rw       io.ReadWriter
+	w        *bufio.Writer
+	pg       *gc.PlanGarbler
+	src      *label.Source
+	emit     func(tables []gc.Material) error
+	emitSkip func(tables []gc.Material) error
+	hdr      [headerSize]byte
+	pairs    []ot.Pair
+	res      []byte
+	out      []bool
+
+	// Resume scratch: garbling is a pure function of the label-source
+	// state at Begin, so ResumeRun replays a broken run's table stream
+	// from a recorded seed without disturbing s.src (whose draws define
+	// the live runs).
+	resumeSrc *label.Source
+	skip      int
 }
 
 // NewGarblerSession builds a garbler session over conn. Options.Plan is
@@ -72,9 +80,25 @@ func NewGarblerSession(conn io.ReadWriter, opts Options) (*GarblerSession, error
 		out:   make([]bool, len(c.Outputs)),
 	}
 	s.emit = func(tables []gc.Material) error { return writeTables(s.w, tables) }
+	s.emitSkip = func(tables []gc.Material) error {
+		if s.skip >= len(tables) {
+			s.skip -= len(tables)
+			return nil
+		}
+		t := tables[s.skip:]
+		s.skip = 0
+		return writeTables(s.w, t)
+	}
 	s.Reset(conn, opts.OT)
 	return s, nil
 }
+
+// PendingSeed returns the label-source state the next Run will begin
+// from. A server records it before starting a run so a broken transfer
+// can later be replayed from the same deterministic stream with
+// ResumeRun — by any pooled runner sharing the hasher and plan, not
+// just this one.
+func (s *GarblerSession) PendingSeed() uint64 { return s.src.State() }
 
 // Reset rebinds the session to a new connection and OT protocol,
 // keeping the plan runner, label source and scratch. A server pools
@@ -122,6 +146,12 @@ func (s *GarblerSession) Run(garblerBits []bool) ([]bool, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.finishRun(garbled)
+}
+
+// finishRun sends the decode bits and collects the evaluator's reported
+// result — the shared tail of Run and ResumeRun.
+func (s *GarblerSession) finishRun(garbled *gc.Garbled) ([]bool, error) {
 	for _, z := range garbled.OutputZeros {
 		if err := s.w.WriteByte(byte(z.Colour())); err != nil {
 			return nil, wrapPeer("sending decode bits", err)
@@ -137,6 +167,32 @@ func (s *GarblerSession) Run(garblerBits []bool) ([]bool, error) {
 		s.out[i] = b == 1
 	}
 	return s.out, nil
+}
+
+// ResumeRun replays a broken run's outbound stream from table offset
+// skip: the garbler re-garbles deterministically from seed (the state
+// PendingSeed reported before the original run), drops the first skip
+// tables — the evaluator already holds them verified — and emits only
+// the remainder, then the decode bits and the result exchange. No
+// header, labels or OT travel on a resume stream: input labels are
+// re-derived identically from the seed, so the evaluator's held labels
+// stay valid.
+func (s *GarblerSession) ResumeRun(seed uint64, skip int) ([]bool, error) {
+	if skip < 0 {
+		return nil, fmt.Errorf("proto: negative resume offset %d", skip)
+	}
+	if s.resumeSrc == nil {
+		s.resumeSrc = label.NewSource(seed)
+	} else {
+		s.resumeSrc.Reseed(seed)
+	}
+	s.skip = skip
+	s.pg.Begin(s.resumeSrc)
+	garbled, err := s.pg.Run(s.emitSkip)
+	if err != nil {
+		return nil, err
+	}
+	return s.finishRun(garbled)
 }
 
 // EvaluatorSession is a reusable evaluator endpoint bound to one
@@ -161,6 +217,13 @@ type EvaluatorSession struct {
 	decode []byte
 	res    []byte
 	out    []bool
+
+	// Resume bookkeeping: once a plan-path run has its inputs (OT done),
+	// the run is resumable — the verified tables in the arena and the
+	// held input labels survive a transport swap, so only tables[got:]
+	// need re-transfer.
+	resumable  bool
+	lastTables int
 }
 
 // NewEvaluatorSession builds an evaluator session for c over conn.
@@ -230,6 +293,7 @@ func (s *EvaluatorSession) Run(evalBits []bool) ([]bool, error) {
 	if len(evalBits) != c.EvaluatorInputs {
 		return nil, fmt.Errorf("proto: got %d evaluator bits, want %d", len(evalBits), c.EvaluatorInputs)
 	}
+	s.resumable = false
 	if _, err := io.ReadFull(s.rd, s.hdrBuf[:]); err != nil {
 		return nil, wrapPeer("reading header", err)
 	}
@@ -268,6 +332,8 @@ func (s *EvaluatorSession) Run(evalBits []bool) ([]bool, error) {
 	var err error
 	if s.pe != nil {
 		s.got = 0
+		s.lastTables = int(h.NTables)
+		s.resumable = true
 		outLabels, err = s.pe.EvalStream(s.inputs, s.need)
 		if err == nil {
 			// Keep the stream position honest even for all-linear
@@ -287,7 +353,13 @@ func (s *EvaluatorSession) Run(evalBits []bool) ([]bool, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.finishRun(outLabels)
+}
 
+// finishRun reads the decode bits, decodes the outputs and reports the
+// result back — the shared tail of Run and Resume. A completed run is
+// no longer resumable.
+func (s *EvaluatorSession) finishRun(outLabels []label.L) ([]bool, error) {
 	if _, err := io.ReadFull(s.rd, s.decode); err != nil {
 		return nil, wrapPeer("reading decode bits", err)
 	}
@@ -299,5 +371,38 @@ func (s *EvaluatorSession) Run(evalBits []bool) ([]bool, error) {
 	if _, err := s.rw.Write(s.res); err != nil {
 		return nil, wrapPeer("sending result", err)
 	}
+	s.resumable = false
 	return s.out, nil
+}
+
+// Progress reports how many verified tables the current broken run has
+// ingested and whether it can be resumed at all: only plan-path runs
+// that completed OT (inputs in hand) qualify. The transfer position is
+// the ingest count, not the transport's read offset — bytes a failed
+// read-ahead buffered but never verified are simply re-sent.
+func (s *EvaluatorSession) Progress() (got int, ok bool) {
+	if !s.resumable {
+		return 0, false
+	}
+	return s.got, true
+}
+
+// Resume continues a broken run over the (re-bound) transport: the
+// peer re-emits tables from the ingest offset, so evaluation replays
+// over the already-verified prefix in the arena and reads only the
+// remainder off the wire, then the decode bits and result exchange
+// complete as usual. Call only after Progress reports ok and the peer
+// has agreed to resume from got.
+func (s *EvaluatorSession) Resume() ([]bool, error) {
+	if !s.resumable {
+		return nil, fmt.Errorf("proto: no resumable run in progress")
+	}
+	outLabels, err := s.pe.EvalStream(s.inputs, s.need)
+	if err == nil {
+		err = s.readTables(s.lastTables)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.finishRun(outLabels)
 }

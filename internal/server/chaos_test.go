@@ -42,10 +42,13 @@ func chaosRetry(seed uint64) RetryPolicy {
 // fault-free oracle.
 func TestChaosRunsHealByteIdentical(t *testing.T) {
 	// corruptWindow bounds corruption to the client-inbound prefix that
-	// parsers actually validate: handshake reply (5) + run ack (1) + run
-	// header (43). Payload bytes past it carry no integrity check, so
-	// corrupting them would silently change outputs instead of being
-	// detected and healed.
+	// the legacy wire's parsers actually validate: handshake reply (5) +
+	// run ack (1) + run header (43). On the legacy wire, payload bytes
+	// past it carry no integrity check, so corrupting them would
+	// silently change outputs instead of being detected and healed.
+	// TestIntegrityCorruptAnywhereHeals (robust_test.go) lifts this
+	// restriction on the checksummed-frame tier, corrupting the whole
+	// stream.
 	const corruptWindow = 5 + 1 + 43
 
 	scenarios := []struct {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"crypto/tls"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -42,6 +43,12 @@ type RetryPolicy struct {
 	// exchange, so one stalled backend cannot absorb the whole retry
 	// budget. 0 means no per-attempt deadline.
 	HandshakeTimeout time.Duration
+	// RunTimeout bounds each run attempt end to end. Corruption that
+	// lands in a frame-length field can leave the client waiting for
+	// payload bytes the server never sent while the server waits for
+	// the next op — a deadline resolves that mutual stall into a
+	// retryable timeout. 0 means no per-attempt deadline.
+	RunTimeout time.Duration
 	// Seed makes the jitter sequence deterministic when nonzero (tests);
 	// zero seeds from the global source.
 	Seed uint64
@@ -102,6 +109,14 @@ type ClientStats struct {
 	// cycles; DialFailures counts redial attempts that did not produce
 	// a working session.
 	Retries, Reconnects, DialFailures uint64
+	// Resumes counts broken runs the server agreed to continue from the
+	// last verified chunk instead of replaying in full (integrity tier);
+	// Retries-Resumes is the full-replay count.
+	Resumes uint64
+	// IntegrityFailures counts checksummed frames this client rejected
+	// on its inbound stream — corruption caught before it could become a
+	// silent wrong output.
+	IntegrityFailures uint64
 }
 
 // MetricsText renders the counters in Prometheus text exposition
@@ -117,6 +132,8 @@ func (cs ClientStats) MetricsText() string {
 	counter("haac_client_run_retries_total", "Run attempts replayed after a retryable failure.", cs.Retries)
 	counter("haac_client_reconnects_total", "Successful redial and re-handshake cycles.", cs.Reconnects)
 	counter("haac_client_dial_failures_total", "Redial attempts that failed.", cs.DialFailures)
+	counter("haac_client_run_resumes_total", "Broken runs resumed mid-stream instead of replayed in full.", cs.Resumes)
+	counter("haac_client_integrity_failures_total", "Inbound checksummed frames rejected by the integrity tier.", cs.IntegrityFailures)
 	return b.String()
 }
 
@@ -153,6 +170,52 @@ type Options struct {
 	// it composes with Dialer — the TLS layer wraps whatever transport
 	// the dialer returns. nil keeps the plaintext default.
 	TLS *tls.Config
+	// Integrity requests the checksummed-frame wire tier: every
+	// post-handshake byte travels in length+CRC32C frames, corruption
+	// surfaces as a typed retryable error instead of a garbage decode,
+	// and broken runs resume from the last verified chunk instead of
+	// replaying. A server that does not speak the tier (or disables it)
+	// declines during the handshake and the session falls back to the
+	// legacy wire — check Session.Integrity for the negotiated outcome.
+	Integrity bool
+	// MaxRunBytes, when positive, bounds the bytes this client will move
+	// for a single run; a breach surfaces as a permanent ErrOverBudget.
+	// Mirrors the server-side Config.MaxRunBytes on the client's half of
+	// the transfer.
+	MaxRunBytes int64
+}
+
+// helloFlags encodes the option-negotiation bits of the client hello.
+func helloFlags(o Options) uint8 {
+	if o.Integrity {
+		return helloFlagIntegrity
+	}
+	return 0
+}
+
+// clientPlans caches compiled plans for integrity sessions that did
+// not bring their own. Mid-run resume replays evaluation over the plan
+// runner's arena of verified tables, so the integrity tier implies the
+// plan path; without this an Integrity session would negotiate
+// checksummed frames but silently lose the resume half of the story.
+var clientPlans = NewPlanCache(8)
+
+// ensurePlan fills Options.Plan for integrity sessions, sharing
+// compiled plans across sessions of the same circuit.
+func (o *Options) ensurePlan(c *circuit.Circuit) error {
+	if !o.Integrity || o.Plan != nil {
+		return nil
+	}
+	d := circuit.Digest(c)
+	// The pointer joins the key because a plan is only usable with the
+	// exact circuit value it was compiled from.
+	key := fmt.Sprintf("%x-%p", d[:8], c)
+	p, err := clientPlans.Get(key, func() (*circuit.Plan, error) { return circuit.NewPlan(c) })
+	if err != nil {
+		return err
+	}
+	o.Plan = p
+	return nil
 }
 
 // dial opens one connection via the configured dialer, wrapping it in
@@ -191,6 +254,17 @@ type Session struct {
 	closed   bool // Close was called: permanently done
 	broken   bool // the connection failed: reconnectable under Retry
 
+	// Integrity-tier state. fc and bb are reused across reconnects; the
+	// grant is renegotiated on every handshake (a redial may land on a
+	// backend with a different policy). runToken identifies the latest
+	// attempt's server-side checkpoint — it is read fresh with every run
+	// ack, so it always matches the evaluator's partial state.
+	fc        *proto.FramedConn
+	bb        *byteBudget
+	integrity bool
+	runToken  uint64
+	hasToken  bool
+
 	// Reconnect state; addr == "" means the session was built over a
 	// caller-owned conn (NewSession) and cannot redial.
 	addr  string
@@ -205,9 +279,12 @@ type Session struct {
 // a structurally identical circuit: its digest is checked during the
 // handshake on every (re)connection.
 func Dial(addr, circuitID string, c *circuit.Circuit, opts Options) (*Session, error) {
+	if err := opts.ensurePlan(c); err != nil {
+		return nil, err
+	}
 	s := &Session{
 		addr:  addr,
-		hello: hello{ot: opts.OT, id: circuitID, digest: circuit.Digest(c)},
+		hello: hello{ot: opts.OT, flags: helloFlags(opts), id: circuitID, digest: circuit.Digest(c)},
 		opts:  opts,
 		rng:   newJitterRNG(opts.Retry.Seed),
 	}
@@ -240,15 +317,21 @@ func Dial(addr, circuitID string, c *circuit.Circuit, opts Options) (*Session, e
 // transport), so Options.Retry is ignored — use Dial for self-healing
 // sessions.
 func NewSession(conn net.Conn, circuitID string, c *circuit.Circuit, opts Options) (*Session, error) {
-	rw := proto.Instrument(conn, opts.Stats)
-	if err := writeHello(rw, hello{ot: opts.OT, id: circuitID, digest: circuit.Digest(c)}); err != nil {
+	if err := opts.ensurePlan(c); err != nil {
 		return nil, err
 	}
-	numSlots, err := readReply(rw)
+	s := &Session{conn: conn, opts: opts}
+	rw := proto.Instrument(conn, opts.Stats)
+	if err := writeHello(rw, hello{ot: opts.OT, flags: helloFlags(opts), id: circuitID, digest: circuit.Digest(c)}); err != nil {
+		return nil, err
+	}
+	numSlots, granted, err := readReply(rw)
 	if err != nil {
 		return nil, err
 	}
-	es, err := proto.NewEvaluatorSession(rw, c, proto.Options{
+	s.rw = s.wireStack(rw, granted)
+	s.numSlots = int(numSlots)
+	es, err := proto.NewEvaluatorSession(s.rw, c, proto.Options{
 		OT:        opts.OT,
 		Workers:   opts.Workers,
 		Pipelined: opts.Pipelined && opts.Plan == nil,
@@ -257,7 +340,34 @@ func NewSession(conn net.Conn, circuitID string, c *circuit.Circuit, opts Option
 	if err != nil {
 		return nil, err
 	}
-	return &Session{conn: conn, rw: rw, es: es, numSlots: int(numSlots), opts: opts}, nil
+	s.es = es
+	return s, nil
+}
+
+// wireStack builds the post-handshake transport over the instrumented
+// connection: the optional client-side run budget, then the checksummed
+// frame codec when the server granted the integrity tier. The codec and
+// budget objects are reused across reconnects so steady-state healing
+// stays allocation-free.
+func (s *Session) wireStack(rw io.ReadWriter, granted bool) io.ReadWriter {
+	if s.opts.MaxRunBytes > 0 {
+		if s.bb == nil {
+			s.bb = &byteBudget{limit: s.opts.MaxRunBytes}
+		}
+		s.bb.inner = rw
+		s.bb.reset()
+		rw = s.bb
+	}
+	if granted {
+		if s.fc == nil {
+			s.fc = proto.NewFramedConn(rw)
+		} else {
+			s.fc.Reset(rw)
+		}
+		rw = s.fc
+	}
+	s.integrity = granted
+	return rw
 }
 
 // newJitterRNG seeds the backoff jitter source.
@@ -283,7 +393,7 @@ func (s *Session) connect() (net.Conn, error) {
 		conn.Close()
 		return nil, err
 	}
-	numSlots, err := readReply(rw)
+	numSlots, granted, err := readReply(rw)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -291,7 +401,7 @@ func (s *Session) connect() (net.Conn, error) {
 	if s.opts.Retry.HandshakeTimeout > 0 {
 		conn.SetDeadline(time.Time{})
 	}
-	s.rw = rw
+	s.rw = s.wireStack(rw, granted)
 	s.numSlots = int(numSlots)
 	return conn, nil
 }
@@ -322,24 +432,33 @@ func (s *Session) NumSlots() int { return s.numSlots }
 // Stats returns a snapshot of the session's self-healing counters.
 func (s *Session) Stats() ClientStats { return s.stats }
 
+// Integrity reports whether the current connection negotiated the
+// checksummed-frame wire tier. It can change across reconnects when a
+// redial lands on a backend with a different policy.
+func (s *Session) Integrity() bool { return s.integrity }
+
 // retryable classifies an error as transport damage worth a fresh
 // connection: peer drops and resets, expired deadlines, malformed or
 // corrupted frames, a dead session, and admission refusals that a
 // restarted or load-shed backend raises transiently (ErrBusy,
-// ErrDraining — in a fleet the redial lands on a live backend).
-// Handshake refusals that no retry can fix — unknown circuit, digest
-// mismatch, version mismatch, bad request — are permanent.
+// ErrDraining — in a fleet the redial lands on a live backend), plus
+// integrity-check failures (the data is damaged, not the server) and
+// contained server panics (the poison was one session's). Handshake
+// refusals that no retry can fix — unknown circuit, digest mismatch,
+// version mismatch, bad request, over-budget — are permanent.
 func retryable(err error) bool {
 	if err == nil {
 		return false
 	}
 	if errors.Is(err, ErrUnknownCircuit) || errors.Is(err, ErrDigestMismatch) ||
-		errors.Is(err, ErrBadVersion) || errors.Is(err, ErrBadRequest) {
+		errors.Is(err, ErrBadVersion) || errors.Is(err, ErrBadRequest) ||
+		errors.Is(err, ErrOverBudget) {
 		return false
 	}
 	if errors.Is(err, proto.ErrPeerClosed) || errors.Is(err, proto.ErrDeadline) ||
 		errors.Is(err, proto.ErrMalformedFrame) || errors.Is(err, ErrMalformedFrame) ||
-		errors.Is(err, ErrSessionClosed) || errors.Is(err, ErrBusy) || errors.Is(err, ErrDraining) {
+		errors.Is(err, ErrSessionClosed) || errors.Is(err, ErrBusy) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, proto.ErrIntegrity) || errors.Is(err, ErrInternal) {
 		return true
 	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
@@ -385,12 +504,21 @@ func (s *Session) Run(evalBits []bool) ([]bool, error) {
 				continue
 			}
 		}
-		out, err := s.runOnce(evalBits)
+		if d := policy.RunTimeout; d > 0 && s.conn != nil {
+			s.conn.SetDeadline(time.Now().Add(d))
+		}
+		out, err := s.attemptOnce(evalBits)
+		if policy.RunTimeout > 0 && s.conn != nil {
+			s.conn.SetDeadline(time.Time{})
+		}
 		if err == nil {
 			s.stats.Runs++
 			return out, nil
 		}
 		lastErr = err
+		if errors.Is(err, proto.ErrIntegrity) {
+			s.stats.IntegrityFailures++
+		}
 		if !canHeal || attempt >= policy.attempts() || !retryable(err) {
 			s.stats.RunFailures++
 			return nil, err
@@ -400,8 +528,28 @@ func (s *Session) Run(evalBits []bool) ([]bool, error) {
 	}
 }
 
+// attemptOnce plays one run attempt: a mid-stream resume when the
+// previous attempt left a server checkpoint and verified chunks behind,
+// a normal run otherwise. A declined resume falls through to a full
+// replay on the same connection — the server answered the resume frame,
+// so the stream is still in protocol.
+func (s *Session) attemptOnce(evalBits []bool) ([]bool, error) {
+	if s.integrity && s.hasToken {
+		if got, ok := s.es.Progress(); ok {
+			out, err := s.resumeOnce(got)
+			if !errors.Is(err, errNoResume) {
+				return out, err
+			}
+		}
+	}
+	return s.runOnce(evalBits)
+}
+
 // runOnce plays a single run attempt over the current connection.
 func (s *Session) runOnce(evalBits []bool) ([]bool, error) {
+	if s.bb != nil {
+		s.bb.reset()
+	}
 	s.frame[0] = opRun
 	if _, err := s.rw.Write(s.frame[:]); err != nil {
 		return nil, s.fail(err)
@@ -417,6 +565,16 @@ func (s *Session) runOnce(evalBits []bool) ([]bool, error) {
 	default:
 		return nil, s.fail(fmt.Errorf("%w: unexpected ack byte %d", ErrMalformedFrame, s.frame[0]))
 	}
+	if s.integrity {
+		// The integrity-tier ack carries the run's resume token: the
+		// handle a later opResume presents to continue this exact run.
+		var tok [8]byte
+		if _, err := io.ReadFull(s.rw, tok[:]); err != nil {
+			return nil, s.fail(err)
+		}
+		s.runToken = binary.LittleEndian.Uint64(tok[:])
+		s.hasToken = true
+	}
 	out, err := s.es.Run(evalBits)
 	if err != nil {
 		// Whatever broke a run mid-protocol leaves the connection's
@@ -428,6 +586,53 @@ func (s *Session) runOnce(evalBits []bool) ([]bool, error) {
 		s.breakConn()
 		return nil, err
 	}
+	s.hasToken = false
+	return out, nil
+}
+
+// errNoResume reports a declined opResume — the server no longer holds
+// the checkpoint (restart or eviction). Package-private: callers fall
+// back to a full replay, the error never escapes.
+var errNoResume = errors.New("server: resume declined")
+
+// resumeOnce asks the server to continue the broken run past the tables
+// the evaluator already verified, so only the remainder crosses the
+// wire again.
+func (s *Session) resumeOnce(got int) ([]bool, error) {
+	if s.bb != nil {
+		s.bb.reset()
+	}
+	var req [17]byte
+	req[0] = opResume
+	binary.LittleEndian.PutUint64(req[1:], s.runToken)
+	binary.LittleEndian.PutUint64(req[9:], uint64(got))
+	if _, err := s.rw.Write(req[:]); err != nil {
+		return nil, s.fail(err)
+	}
+	if _, err := io.ReadFull(s.rw, s.frame[:]); err != nil {
+		return nil, s.fail(err)
+	}
+	switch s.frame[0] {
+	case ackResume:
+	case ackNoResume:
+		s.hasToken = false
+		return nil, errNoResume
+	case ackDraining:
+		s.breakConn()
+		return nil, ErrDraining
+	default:
+		return nil, s.fail(fmt.Errorf("%w: unexpected resume ack byte %d", ErrMalformedFrame, s.frame[0]))
+	}
+	s.stats.Resumes++
+	out, err := s.es.Resume()
+	if err != nil {
+		if errors.Is(err, proto.ErrPeerClosed) {
+			return nil, s.fail(err)
+		}
+		s.breakConn()
+		return nil, err
+	}
+	s.hasToken = false
 	return out, nil
 }
 

@@ -84,6 +84,11 @@ func TestOpsEndpoints(t *testing.T) {
 		"haac_plan_cache_hits_total",
 		"haac_plan_cache_misses_total 1",
 		"haac_plan_cache_evictions_total 0",
+		"haac_integrity_failures_total 0",
+		"haac_runs_resumed_total 0",
+		"haac_sessions_panicked_total 0",
+		"haac_sessions_over_budget_total 0",
+		"haac_runs_over_budget_total 0",
 	} {
 		if !strings.Contains(body, metric) {
 			t.Errorf("metrics exposition missing %q:\n%s", metric, body)

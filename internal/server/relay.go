@@ -61,9 +61,14 @@ type ReplyFrame struct {
 	Raw []byte
 	// NumSlots is the plan width on an accepting reply.
 	NumSlots uint32
+	// Integrity reports whether the backend granted the checksummed
+	// frame tier. A relay forwards the raw reply verbatim, so the grant
+	// — and every checksummed frame after it — traverses the proxy as
+	// opaque spliced bytes.
+	Integrity bool
 	// Err is the typed refusal (ErrBusy, ErrDraining, ErrUnknownCircuit,
-	// ErrDigestMismatch, ErrBadVersion, ErrBadRequest) on a refusing
-	// reply, nil on an accepting one.
+	// ErrDigestMismatch, ErrBadVersion, ErrBadRequest, ErrOverBudget,
+	// ErrInternal) on a refusing reply, nil on an accepting one.
 	Err error
 }
 
@@ -78,15 +83,16 @@ func (rf ReplyFrame) OK() bool { return rf.Err == nil }
 func ReadReplyFrame(r io.Reader) (ReplyFrame, error) {
 	var rf ReplyFrame
 	var raw bytes.Buffer
-	numSlots, err := readReply(io.TeeReader(r, &raw))
+	numSlots, integrity, err := readReply(io.TeeReader(r, &raw))
 	rf.Raw = raw.Bytes()
 	if err == nil {
 		rf.NumSlots = numSlots
+		rf.Integrity = integrity
 		return rf, nil
 	}
 	for _, refusal := range []error{
 		ErrUnknownCircuit, ErrDigestMismatch, ErrBadVersion,
-		ErrBadRequest, ErrDraining, ErrBusy,
+		ErrBadRequest, ErrDraining, ErrBusy, ErrOverBudget, ErrInternal,
 	} {
 		if errors.Is(err, refusal) {
 			rf.Err = err
@@ -111,6 +117,8 @@ func WriteRefusal(w io.Writer, cause error, msg string) error {
 		{ErrBadVersion, statusBadVersion},
 		{ErrDraining, statusDraining},
 		{ErrBusy, statusBusy},
+		{ErrOverBudget, statusOverBudget},
+		{ErrInternal, statusInternal},
 	} {
 		if errors.Is(cause, m.err) {
 			status = m.status

@@ -2,6 +2,7 @@ package server
 
 import (
 	"crypto/tls"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 
 	"haac/internal/circuit"
 	"haac/internal/gc"
+	"haac/internal/label"
 	"haac/internal/ot"
 	"haac/internal/proto"
 )
@@ -72,6 +74,23 @@ type Config struct {
 	// a remote peer must not be able to downgrade the OT; enable it only
 	// for benchmarks and tests.
 	AllowInsecureOT bool
+	// DisableIntegrity declines the checksummed-frame wire tier even
+	// when a client requests it in its hello flags; sessions then run on
+	// the legacy unframed wire. Integrity-requesting clients fall back
+	// transparently — this is also how tests exercise the legacy-peer
+	// negotiation path.
+	DisableIntegrity bool
+	// MaxCircuitBytes, when > 0, refuses sessions (typed ErrOverBudget,
+	// counted in Stats.SessionsOverBudget) whose circuit would hold more
+	// than this many bytes of labels, tables and plan state resident —
+	// memory-accounted admission, decided before any plan is built, so
+	// one oversized circuit cannot OOM a backend.
+	MaxCircuitBytes int64
+	// MaxRunBytes, when > 0, bounds each run's transport bytes: sessions
+	// whose minimum per-run stream already exceeds it are refused at
+	// handshake, and a run that crosses it mid-stream errors out (typed
+	// ErrOverBudget, counted in Stats.RunsOverBudget).
+	MaxRunBytes int64
 	// TLS, when non-nil, wraps every listener passed to Serve so the
 	// session wire (handshake and the 2PC byte stream) runs over TLS.
 	// The ops sidecar is unaffected — it is plain HTTP meant to be
@@ -112,6 +131,19 @@ type Stats struct {
 	// RunNanos/RunsServed is the mean serve latency, and the pair
 	// exports as a Prometheus summary (_sum/_count).
 	RunNanos uint64
+	// RunsResumed counts broken runs completed by a mid-run resume
+	// (integrity tier) instead of a full replay.
+	RunsResumed uint64
+	// IntegrityFailures counts checksummed frames this server rejected
+	// on its inbound stream.
+	IntegrityFailures uint64
+	// SessionsPanicked counts sessions whose handler panicked; the panic
+	// was contained to the session and the server kept serving.
+	SessionsPanicked uint64
+	// SessionsOverBudget counts sessions refused at handshake by the
+	// MaxCircuitBytes/MaxRunBytes budgets; RunsOverBudget counts runs
+	// that crossed MaxRunBytes mid-stream.
+	SessionsOverBudget, RunsOverBudget uint64
 }
 
 // registered is a servable circuit plus its per-circuit runner pool.
@@ -122,6 +154,15 @@ type registered struct {
 	spec   CircuitSpec
 	digest [32]byte
 	zero   []bool // all-false garbler bits when spec.Inputs == nil
+
+	// Static budget inputs, computed once at New: a conservative
+	// resident-memory estimate (labels + tables + plan slots) and the
+	// minimum garbler→evaluator stream bytes of one run (header, fixed
+	// labels, tables, decode bits; OT excluded). and is the table count,
+	// the bound on resume offsets.
+	memBytes int64
+	runBytes int64
+	and      int
 
 	mu   sync.Mutex
 	free []*proto.GarblerSession // reused across sessions
@@ -189,6 +230,14 @@ type Server struct {
 	forceClosed   atomic.Uint64
 	acceptRetries atomic.Uint64
 	seq           atomic.Uint64 // per-runner deterministic seed sequence
+
+	runsResumed       atomic.Uint64
+	integrityFailures atomic.Uint64
+	sessionsPanicked  atomic.Uint64
+	sessionsOverBdgt  atomic.Uint64
+	runsOverBudget    atomic.Uint64
+
+	resume resumeStore // broken-run checkpoints, keyed by opaque token
 }
 
 // New validates the configuration and builds a server. Plans are not
@@ -220,13 +269,42 @@ func New(cfg Config) (*Server, error) {
 		if err := spec.Circuit.Validate(); err != nil {
 			return nil, fmt.Errorf("server: circuit %q: %w", spec.ID, err)
 		}
+		c := spec.Circuit
+		and, _, _ := c.CountOps()
+		nFixed := c.GarblerInputs
+		if c.HasConst {
+			nFixed += 2
+		}
 		s.reg[spec.ID] = &registered{
 			spec:   spec,
-			digest: circuit.Digest(spec.Circuit),
-			zero:   make([]bool, spec.Circuit.GarblerInputs),
+			digest: circuit.Digest(c),
+			zero:   make([]bool, c.GarblerInputs),
+			memBytes: int64(c.NumWires)*label.Size +
+				int64(and)*gc.MaterialSize +
+				int64(c.NumInputs()+len(c.Outputs))*label.Size,
+			runBytes: protoRunHeaderLen + int64(nFixed)*label.Size +
+				int64(and)*gc.MaterialSize + int64(len(c.Outputs)),
+			and: and,
 		}
 	}
 	return s, nil
+}
+
+// protoRunHeaderLen is the wire size of internal/proto's run header,
+// the fixed prefix of every run's stream (pinned against the real codec
+// in tests).
+const protoRunHeaderLen = 43
+
+// overBudgetReason compares a registered circuit against the configured
+// budgets; a non-empty string is the refusal detail.
+func (s *Server) overBudgetReason(reg *registered) string {
+	if m := s.cfg.MaxCircuitBytes; m > 0 && reg.memBytes > m {
+		return fmt.Sprintf("circuit holds ~%d resident bytes, budget %d", reg.memBytes, m)
+	}
+	if m := s.cfg.MaxRunBytes; m > 0 && reg.runBytes > m {
+		return fmt.Sprintf("a run streams at least %d bytes, budget %d", reg.runBytes, m)
+	}
+	return ""
 }
 
 // Digest returns the digest of the registered circuit, or false if the
@@ -258,6 +336,12 @@ func (s *Server) Stats() Stats {
 		RunsFailed:          s.runsFailed.Load(),
 		RunNanos:            s.runNanos.Load(),
 		AcceptRetries:       s.acceptRetries.Load(),
+
+		RunsResumed:        s.runsResumed.Load(),
+		IntegrityFailures:  s.integrityFailures.Load(),
+		SessionsPanicked:   s.sessionsPanicked.Load(),
+		SessionsOverBudget: s.sessionsOverBdgt.Load(),
+		RunsOverBudget:     s.runsOverBudget.Load(),
 	}
 }
 
@@ -475,6 +559,20 @@ func (s *Server) handle(st *session) {
 		s.active.Add(-1)
 		s.wg.Done()
 	}()
+	// Blast-radius containment: a panic anywhere in this session — a
+	// poisoned Inputs callback, a bug tripped by one circuit — is
+	// contained to the session. The recover defer runs before the
+	// cleanup defer (LIFO), so the session still unregisters and the
+	// server keeps serving everyone else.
+	replied := false
+	defer func() {
+		if r := recover(); r != nil {
+			s.sessionsPanicked.Add(1)
+			if !replied {
+				writeReply(conn, statusInternal, 0, statusMsg(statusInternal, ""))
+			}
+		}
+	}()
 
 	hsTimeout := s.cfg.HandshakeTimeout
 	if hsTimeout == 0 {
@@ -487,6 +585,7 @@ func (s *Server) handle(st *session) {
 	// a slowloris client that never drains its receive window cannot pin
 	// this goroutine mid-write.
 	reply := func(w io.Writer, status uint8, numSlots uint32, msg string) error {
+		replied = true
 		if hsTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(hsTimeout))
 		}
@@ -510,6 +609,10 @@ func (s *Server) handle(st *session) {
 			status = statusUnknownCircuit
 		} else if h.digest != reg.digest {
 			status = statusDigestMismatch
+		} else if reason := s.overBudgetReason(reg); reason != "" {
+			status = statusOverBudget
+			msg = reason
+			s.sessionsOverBdgt.Add(1)
 		}
 	}
 	if status != statusOK {
@@ -527,13 +630,35 @@ func (s *Server) handle(st *session) {
 		return
 	}
 
-	gs, err := s.garblerFor(reg, plan, rw, h.ot)
+	// Post-handshake transport stack, innermost first: the instrumented
+	// conn, the per-run byte budget (when configured), and — when the
+	// client requested it and the server allows — the checksummed frame
+	// codec. The handshake itself always runs unframed, so legacy and
+	// integrity clients speak to the same listener.
+	integrity := h.flags&helloFlagIntegrity != 0 && !s.cfg.DisableIntegrity
+	srw := rw
+	var bb *byteBudget
+	if s.cfg.MaxRunBytes > 0 {
+		bb = &byteBudget{inner: srw, limit: s.cfg.MaxRunBytes}
+		srw = bb
+	}
+	var fr *proto.FramedConn
+	if integrity {
+		fr = proto.NewFramedConn(srw)
+		srw = fr
+	}
+
+	gs, err := s.garblerFor(reg, plan, srw, h.ot)
 	if err != nil {
 		reply(rw, statusBadRequest, 0, err.Error())
 		return
 	}
 	defer reg.putRunner(gs)
-	if err := reply(rw, statusOK, uint32(plan.NumSlots), ""); err != nil {
+	okStatus := uint8(statusOK)
+	if integrity {
+		okStatus = statusOKIntegrity
+	}
+	if err := reply(rw, okStatus, uint32(plan.NumSlots), ""); err != nil {
 		return
 	}
 	conn.SetDeadline(time.Time{})
@@ -543,19 +668,47 @@ func (s *Server) handle(st *session) {
 		if !s.setIdle(st, true) {
 			return // draining: the client's next Run sees a closed session
 		}
-		_, err := io.ReadFull(rw, frame[:])
+		_, err := io.ReadFull(srw, frame[:])
 		s.setIdle(st, false)
-		if err != nil || frame[0] != opRun {
+		if err != nil || (frame[0] != opRun && frame[0] != opResume) {
 			return // opBye, garbage, or a dead/force-closed connection
 		}
 		if s.isDraining() {
 			frame[0] = ackDraining
-			rw.Write(frame[:])
+			srw.Write(frame[:])
 			return
 		}
-		frame[0] = ackGo
-		if _, err := rw.Write(frame[:]); err != nil {
-			return
+		if frame[0] == opResume {
+			// Resume frames only exist on the integrity tier; on the
+			// legacy wire the byte is garbage.
+			if fr == nil || !s.serveResume(conn, srw, gs, bb, h.id) {
+				return
+			}
+			continue
+		}
+		var token uint64
+		if fr != nil {
+			// Checkpoint the run before it starts: the deterministic
+			// garbling seed, keyed by an opaque token the client echoes
+			// back if the transfer breaks. The seed never crosses the
+			// wire — it would reveal every label of the run.
+			token, err = newResumeToken()
+			if err != nil {
+				return
+			}
+			s.resume.put(token, resumeEntry{id: h.id, seed: gs.PendingSeed(), and: reg.and})
+			var ack [9]byte
+			ack[0] = ackGo
+			binary.LittleEndian.PutUint64(ack[1:], token)
+			if _, err := srw.Write(ack[:]); err != nil {
+				s.resume.drop(token)
+				return
+			}
+		} else {
+			frame[0] = ackGo
+			if _, err := srw.Write(frame[:]); err != nil {
+				return
+			}
 		}
 		bits := reg.zero
 		if reg.spec.Inputs != nil {
@@ -567,17 +720,79 @@ func (s *Server) handle(st *session) {
 		if rt := s.cfg.RunTimeout; rt > 0 {
 			conn.SetDeadline(time.Now().Add(rt))
 		}
+		if bb != nil {
+			bb.reset()
+		}
 		start := time.Now()
 		if _, err := gs.Run(bits); err != nil {
-			s.runsFailed.Add(1)
+			s.failRun(err)
 			return
 		}
 		if s.cfg.RunTimeout > 0 {
 			conn.SetDeadline(time.Time{})
 		}
+		if fr != nil {
+			s.resume.drop(token)
+		}
 		s.runs.Add(1)
 		s.runNanos.Add(uint64(time.Since(start)))
 	}
+}
+
+// failRun accounts one failed run, classifying integrity and budget
+// causes.
+func (s *Server) failRun(err error) {
+	s.runsFailed.Add(1)
+	if errors.Is(err, proto.ErrIntegrity) {
+		s.integrityFailures.Add(1)
+	}
+	if errors.Is(err, ErrOverBudget) {
+		s.runsOverBudget.Add(1)
+	}
+}
+
+// serveResume answers one opResume frame: validate the token against
+// the checkpoint store and either decline (ackNoResume — the client
+// replays in full) or re-emit the run's stream from the client's
+// verified-table offset. Returns false when the session must end.
+func (s *Server) serveResume(conn net.Conn, srw io.ReadWriter, gs *proto.GarblerSession, bb *byteBudget, id string) bool {
+	var req [16]byte
+	if _, err := io.ReadFull(srw, req[:]); err != nil {
+		return false
+	}
+	le := binary.LittleEndian
+	token := le.Uint64(req[0:])
+	got := le.Uint64(req[8:])
+	e, ok := s.resume.get(token)
+	var ack [1]byte
+	if !ok || e.id != id || got > uint64(e.and) {
+		ack[0] = ackNoResume
+		_, err := srw.Write(ack[:])
+		return err == nil
+	}
+	ack[0] = ackResume
+	if _, err := srw.Write(ack[:]); err != nil {
+		return false
+	}
+	if rt := s.cfg.RunTimeout; rt > 0 {
+		conn.SetDeadline(time.Now().Add(rt))
+	}
+	if bb != nil {
+		bb.reset()
+	}
+	start := time.Now()
+	if _, err := gs.ResumeRun(e.seed, int(got)); err != nil {
+		s.failRun(err)
+		return false
+	}
+	if s.cfg.RunTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	s.resume.drop(token)
+	s.runsResumed.Add(1)
+	s.runs.Add(1)
+	s.runNanos.Add(uint64(time.Since(start)))
+	return true
 }
 
 // garblerFor takes a pooled garbler runner for the circuit, or builds

@@ -49,11 +49,28 @@ const (
 	// a huge allocation nor masquerade as a legitimate refusal.
 	maxStatusMsgLen = 1024
 
+	// helloFlagIntegrity requests the checksummed-frame wire tier in the
+	// hello's flags byte. Legacy servers wrote the byte as zero and
+	// ignored it on read, so an old client never requests integrity and
+	// an old server silently declines it — negotiation costs no extra
+	// round trip and the legacy wire stays byte-identical.
+	helloFlagIntegrity = 0x01
+
 	opRun = 1
 	opBye = 2
+	// opResume asks the server to resume the previous broken run from a
+	// verified-chunk offset instead of replaying it; integrity tier only.
+	// The frame is op u8 | token u64 | got u64 (the run token issued with
+	// the ack and the count of tables the client holds verified).
+	opResume = 3
 
 	ackGo       = 0
 	ackDraining = 1
+	// ackResume accepts an opResume: the garbler re-emits tables from
+	// the offset. ackNoResume declines it (unknown or expired token);
+	// the client falls back to a full replay on the same connection.
+	ackResume   = 2
+	ackNoResume = 3
 
 	statusOK             = 0
 	statusUnknownCircuit = 1
@@ -62,6 +79,16 @@ const (
 	statusBadRequest     = 4
 	statusDraining       = 5
 	statusBusy           = 6
+	// statusOKIntegrity accepts the session with the integrity tier
+	// granted: same 5-byte accept frame as statusOK, and everything after
+	// it travels in checksummed frames.
+	statusOKIntegrity = 7
+	// statusOverBudget refuses a session whose circuit or run would
+	// exceed the server's per-session resource budgets.
+	statusOverBudget = 8
+	// statusInternal refuses a session whose setup raised a contained
+	// panic.
+	statusInternal = 9
 )
 
 // Typed session errors. Handshake failures map one status each;
@@ -79,11 +106,21 @@ var (
 	ErrDraining       = errors.New("server: draining")
 	ErrBusy           = errors.New("server: session limit reached")
 	ErrSessionClosed  = errors.New("server: session closed")
+	// ErrOverBudget marks a session or run refused by the server's
+	// per-session resource budgets (Config.MaxCircuitBytes,
+	// Config.MaxRunBytes). Permanent: retrying the same circuit against
+	// the same budget cannot succeed.
+	ErrOverBudget = errors.New("server: over resource budget")
+	// ErrInternal marks a session the server refused after containing a
+	// panic in its handler. Retryable: the poison was this session's,
+	// not the server's.
+	ErrInternal = errors.New("server: internal error")
 )
 
 // hello is the decoded client handshake.
 type hello struct {
 	ot     ot.Protocol
+	flags  uint8
 	id     string
 	digest [32]byte
 }
@@ -98,7 +135,7 @@ func writeHello(w io.Writer, h hello) error {
 	le.PutUint32(buf[0:], helloMagic)
 	buf[4] = helloVersion
 	buf[5] = byte(h.ot)
-	buf[6] = 0 // flags, reserved
+	buf[6] = h.flags
 	le.PutUint16(buf[7:], uint16(len(h.id)))
 	copy(buf[helloFixedSize:], h.id)
 	copy(buf[helloFixedSize+len(h.id):], h.digest[:])
@@ -124,6 +161,7 @@ func readHello(r io.Reader) (h hello, status uint8, err error) {
 		return h, statusBadVersion, nil
 	}
 	h.ot = ot.Protocol(fixed[5])
+	h.flags = fixed[6]
 	switch h.ot {
 	case ot.DH, ot.Insecure, ot.IKNP:
 	default:
@@ -145,9 +183,9 @@ func readHello(r io.Reader) (h hello, status uint8, err error) {
 // writeReply sends the server's handshake verdict: numSlots on success,
 // a status and message otherwise.
 func writeReply(w io.Writer, status uint8, numSlots uint32, msg string) error {
-	if status == statusOK {
+	if status == statusOK || status == statusOKIntegrity {
 		var buf [5]byte
-		buf[0] = statusOK
+		buf[0] = status
 		binary.LittleEndian.PutUint32(buf[1:], numSlots)
 		_, err := w.Write(buf[:])
 		return err
@@ -164,37 +202,38 @@ func writeReply(w io.Writer, status uint8, numSlots uint32, msg string) error {
 }
 
 // readReply consumes the server's handshake verdict, mapping refusal
-// statuses to the package's typed errors.
-func readReply(r io.Reader) (numSlots uint32, err error) {
+// statuses to the package's typed errors. integrity reports whether the
+// server granted the checksummed-frame wire tier.
+func readReply(r io.Reader) (numSlots uint32, integrity bool, err error) {
 	var b [5]byte
 	if _, err := io.ReadFull(r, b[:1]); err != nil {
-		return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+		return 0, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 	}
-	if b[0] == statusOK {
+	if b[0] == statusOK || b[0] == statusOKIntegrity {
 		if _, err := io.ReadFull(r, b[1:5]); err != nil {
-			return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+			return 0, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 		}
-		return binary.LittleEndian.Uint32(b[1:5]), nil
+		return binary.LittleEndian.Uint32(b[1:5]), b[0] == statusOKIntegrity, nil
 	}
 	status := b[0]
 	if _, err := io.ReadFull(r, b[1:3]); err != nil {
-		return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+		return 0, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 	}
 	// Bound the wire-controlled length before allocating: a corrupt or
 	// hostile reply must not be able to demand an arbitrary buffer.
 	msgLen := int(binary.LittleEndian.Uint16(b[1:3]))
 	if msgLen > maxStatusMsgLen {
-		return 0, fmt.Errorf("%w: refusal message length %d exceeds %d", ErrMalformedFrame, msgLen, maxStatusMsgLen)
+		return 0, false, fmt.Errorf("%w: refusal message length %d exceeds %d", ErrMalformedFrame, msgLen, maxStatusMsgLen)
 	}
 	msg := make([]byte, msgLen)
 	if _, err := io.ReadFull(r, msg); err != nil {
-		return 0, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+		return 0, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 	}
 	base := statusErr(status)
 	if len(msg) > 0 {
-		return 0, fmt.Errorf("%w: %s", base, msg)
+		return 0, false, fmt.Errorf("%w: %s", base, msg)
 	}
-	return 0, base
+	return 0, false, base
 }
 
 // statusErr maps a refusal status byte to its sentinel error.
@@ -212,6 +251,10 @@ func statusErr(status uint8) error {
 		return ErrDraining
 	case statusBusy:
 		return ErrBusy
+	case statusOverBudget:
+		return ErrOverBudget
+	case statusInternal:
+		return ErrInternal
 	}
 	return fmt.Errorf("%w: handshake refused with unknown status %d", ErrMalformedFrame, status)
 }
@@ -229,6 +272,10 @@ func statusMsg(status uint8, id string) string {
 		return "server is draining"
 	case statusBusy:
 		return "server is at its session limit"
+	case statusOverBudget:
+		return fmt.Sprintf("circuit %q exceeds the server's resource budget", id)
+	case statusInternal:
+		return "internal error"
 	}
 	return ""
 }

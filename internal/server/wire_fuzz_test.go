@@ -55,7 +55,7 @@ func FuzzReadHello(f *testing.F) {
 		if err != nil || status2 != statusOK {
 			t.Fatalf("re-reading re-encoded hello: status %d, err %v", status2, err)
 		}
-		if h2.id != h.id || h2.ot != h.ot || h2.digest != h.digest {
+		if h2.id != h.id || h2.ot != h.ot || h2.flags != h.flags || h2.digest != h.digest {
 			t.Fatalf("hello roundtrip drifted: %+v vs %+v", h, h2)
 		}
 	})
@@ -77,13 +77,14 @@ func FuzzReadStatus(f *testing.F) {
 	f.Add([]byte{200, 0x04, 0x00, 'o', 'o', 'p', 's'}) // unknown status
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, err := readReply(bytes.NewReader(data))
+		_, _, err := readReply(bytes.NewReader(data))
 		if err == nil {
 			return
 		}
 		for _, typed := range []error{
 			ErrSessionClosed, ErrMalformedFrame, ErrUnknownCircuit,
 			ErrDigestMismatch, ErrBadVersion, ErrBadRequest, ErrDraining, ErrBusy,
+			ErrOverBudget, ErrInternal,
 		} {
 			if errors.Is(err, typed) {
 				return
