@@ -1,0 +1,29 @@
+package undocd
+
+func Naked() {}
+
+type Bare struct{}
+
+func (Bare) Method() {}
+
+const Loose = 1
+
+var Stray = 2
+
+// Documented has a comment and must not be flagged.
+func Documented() {}
+
+// Exported group members are covered by the group comment.
+const (
+	GroupA = iota
+	GroupB
+)
+
+func hidden() {}
+
+type unexported struct{}
+
+func (unexported) Method() {}
+
+var _ = hidden
+var _ = unexported{}

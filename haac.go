@@ -304,6 +304,21 @@ type RunOptions struct {
 	// session moves for one run; a breach surfaces as a permanent
 	// ErrOverBudget. The server-side mirror is ServerConfig.MaxRunBytes.
 	MaxRunBytes int64
+	// PoolSize, when positive, asks Dial/DialWith (and DialFleet) for the
+	// precomputed-OT session tier: the session banks about this many
+	// random-OT correlations — base OTs and IKNP extension paid at dial
+	// time and topped up in the background between runs — so a
+	// steady-state Run's online oblivious transfer is a single
+	// choice-correction XOR round with no public-key operations. Size it
+	// at several runs' worth of evaluator inputs; a run that finds the
+	// pool short falls back to on-demand OT for that run. Servers that
+	// decline the tier (ServerConfig.DisablePooledOT) accept the session
+	// unpooled — check Session.Pooled. The direct-connection entry
+	// points ignore it.
+	PoolSize int
+	// PoolRefill is the background top-up chunk of a pooled session
+	// (correlations per refill op). Default PoolSize/4.
+	PoolRefill int
 }
 
 func (o RunOptions) proto() proto.Options {
@@ -384,7 +399,8 @@ type (
 	// ServerConfig configures a Server (circuits, plan-cache bound,
 	// engine width, deterministic seeds for tests) and its operational
 	// envelope: MaxSessions admission with typed ErrBusy shedding,
-	// RunTimeout per-run deadlines, DrainTimeout-bounded Close, and the
+	// RunTimeout per-run deadlines, DrainTimeout-bounded Close, the
+	// MaxPoolSize/DisablePooledOT precomputed-OT knobs, and the
 	// AllowInsecureOT escape hatch for benchmarks.
 	ServerConfig = server.Config
 	// ServedCircuit registers one servable circuit with its garbler
@@ -406,8 +422,9 @@ type (
 	// deadlines, and transparent redial-and-replay inside Session.Run.
 	RetryPolicy = server.RetryPolicy
 	// ClientStats counts a session's self-healing activity — runs,
-	// retries, reconnects, dial failures — and renders it in Prometheus
-	// text format via MetricsText, mirroring the server's /metrics.
+	// retries, reconnects, dial failures — plus its OT-pool hit/miss/
+	// refill counters, and renders it in Prometheus text format via
+	// MetricsText, mirroring the server's /metrics.
 	ClientStats = server.ClientStats
 )
 
@@ -487,6 +504,8 @@ func DialWith(addr, circuitID string, c *Circuit, opts RunOptions) (*Session, er
 		TLS:         opts.TLS,
 		Integrity:   opts.Integrity,
 		MaxRunBytes: opts.MaxRunBytes,
+		PoolSize:    opts.PoolSize,
+		PoolRefill:  opts.PoolRefill,
 	}
 	if opts.Plan != nil {
 		sopts.Plan = opts.Plan.plan

@@ -45,6 +45,13 @@ type ServingRow struct {
 	// whole level: the server's one cache build plus the one plan the
 	// level's clients share — 2 regardless of session count.
 	PlanBuilds uint64
+	// Pooled marks the precomputed-OT level; PoolHits counts its
+	// measured runs served from the pool and BaseOTRounds the base-OT
+	// rounds spent inside the measured window (asserted 0 — the tier's
+	// whole point).
+	Pooled       bool
+	PoolHits     uint64
+	BaseOTRounds uint64
 }
 
 // servingWorkload picks the measured circuit per scale.
@@ -68,7 +75,7 @@ func (e *Env) Serving() ([]ServingRow, string, error) {
 
 	var rows []ServingRow
 	for _, sessions := range []int{1, 4, 16} {
-		row, err := e.servingLevel(w, c, garblerBits, sessions, 0, runsPerSession)
+		row, err := e.servingLevel(w, c, garblerBits, sessions, 0, runsPerSession, false)
 		if err != nil {
 			return nil, "", fmt.Errorf("serving: %d sessions: %w", sessions, err)
 		}
@@ -77,28 +84,44 @@ func (e *Env) Serving() ([]ServingRow, string, error) {
 	// Saturation: offer 16 sessions against an 8-session cap; the 8
 	// over-limit connections shed at handshake while the admitted 8
 	// serve every run.
-	row, err := e.servingLevel(w, c, garblerBits, 16, 8, runsPerSession)
+	row, err := e.servingLevel(w, c, garblerBits, 16, 8, runsPerSession, false)
 	if err != nil {
 		return nil, "", fmt.Errorf("serving: saturation: %w", err)
 	}
 	rows = append(rows, row)
+	// Pooled steady state: one session on the precomputed-OT tier. The
+	// dial pays base OTs and an initial fill once; the measured window
+	// must then run entirely from the pool — zero base-OT rounds, every
+	// run a pool hit (both asserted in servingLevel).
+	row, err = e.servingLevel(w, c, garblerBits, 1, 0, runsPerSession, true)
+	if err != nil {
+		return nil, "", fmt.Errorf("serving: pooled: %w", err)
+	}
+	rows = append(rows, row)
 
-	header := []string{"sessions", "cap", "admitted", "refused", "runs", "runs/s", "allocs/run", "KB out/run", "cache hit/miss", "plan builds"}
+	header := []string{"sessions", "cap", "OT", "admitted", "refused", "runs", "runs/s", "allocs/run", "KB out/run", "pool hit/baseOT", "cache hit/miss", "plan builds"}
 	var cells [][]string
 	for _, r := range rows {
 		cap := "-"
 		if r.MaxSessions > 0 {
 			cap = fmt.Sprint(r.MaxSessions)
 		}
+		tier, pool := "on-demand", "-"
+		if r.Pooled {
+			tier = "pooled"
+			pool = fmt.Sprintf("%d/%d", r.PoolHits, r.BaseOTRounds)
+		}
 		cells = append(cells, []string{
 			fmt.Sprint(r.Sessions),
 			cap,
+			tier,
 			fmt.Sprint(r.Admitted),
 			fmt.Sprint(r.Refused),
 			fmt.Sprint(r.Runs),
 			fmt.Sprintf("%.0f", r.RunsPerSec),
 			fmt.Sprintf("%.1f", r.AllocsPerRun),
 			fmt.Sprintf("%.0f", r.BytesOutPerRun/1024),
+			pool,
 			fmt.Sprintf("%d/%d", r.CacheHits, r.CacheMisses),
 			fmt.Sprint(r.PlanBuilds),
 		})
@@ -108,17 +131,21 @@ func (e *Env) Serving() ([]ServingRow, string, error) {
 		"every level shows exactly 1 cache miss and 2 plan builds — one server-side shared\n"+
 		"by all admitted sessions, one client-side shared by the level's dialers (sessions\n"+
 		"dial sequentially, so only completed builds count as hits); the capped row sheds\n"+
-		"its excess connections with a typed busy refusal at handshake; allocs/run counts\n"+
-		"the whole process, client sessions included; throughput is reported for shape\n"+
-		"only, not asserted)\n", w.Name)
+		"its excess connections with a typed busy refusal at handshake; the pooled row\n"+
+		"banks OT correlations at dial time and its measured window is asserted to spend\n"+
+		"zero base-OT rounds with every run a pool hit; allocs/run counts the whole\n"+
+		"process, client sessions included; throughput is reported for shape only, not\n"+
+		"asserted)\n", w.Name)
 	return rows, s, nil
 }
 
 // servingLevel runs one concurrency level end to end and measures it.
 // maxSessions > 0 caps admission below the offered session count; the
-// shed connections must fail typed with ErrBusy.
-func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits []bool, sessions, maxSessions, runsPerSession int) (ServingRow, error) {
-	row := ServingRow{Sessions: sessions, MaxSessions: maxSessions, RunsPerSession: runsPerSession}
+// shed connections must fail typed with ErrBusy. pooled switches the
+// level to the precomputed-OT tier, sized so the measured window never
+// needs a background refill, and asserts its steady-state contract.
+func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits []bool, sessions, maxSessions, runsPerSession int, pooled bool) (ServingRow, error) {
+	row := ServingRow{Sessions: sessions, MaxSessions: maxSessions, RunsPerSession: runsPerSession, Pooled: pooled}
 
 	buildsBefore := circuit.PlanBuilds()
 	srv, err := server.New(server.Config{
@@ -150,9 +177,16 @@ func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits
 	if err != nil {
 		return row, err
 	}
+	opts := server.Options{OT: ot.Insecure, Plan: plan}
+	if pooled {
+		// Twice the level's whole demand (warm-up run included): the
+		// pool ends the window at half target, so the background refill
+		// never fires inside the measurement.
+		opts = server.Options{Plan: plan, PoolSize: 2 * (runsPerSession + 1) * c.EvaluatorInputs}
+	}
 	conns := make([]*server.Session, 0, sessions)
 	for i := 0; i < sessions; i++ {
-		sess, err := server.Dial(ln.Addr().String(), w.Name, c, server.Options{OT: ot.Insecure, Plan: plan})
+		sess, err := server.Dial(ln.Addr().String(), w.Name, c, opts)
 		if errors.Is(err, server.ErrBusy) {
 			continue // shed at admission; counted via SessionsRefused
 		}
@@ -195,7 +229,12 @@ func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits
 		}
 	}
 
+	if pooled && !conns[0].Pooled() {
+		return row, fmt.Errorf("server did not grant the pooled tier")
+	}
 	bytesBefore := srv.Stats().BytesOut
+	hitsBefore := srv.Stats().PoolHits
+	roundsBefore := ot.BaseOTRounds()
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -227,5 +266,15 @@ func (e *Env) servingLevel(w workloads.Workload, c *circuit.Circuit, garblerBits
 	row.CacheHits, row.CacheMisses = st.CacheHits, st.CacheMisses
 	row.Refused = st.SessionsRefused
 	row.PlanBuilds = circuit.PlanBuilds() - buildsBefore
+	if pooled {
+		row.PoolHits = st.PoolHits - hitsBefore
+		row.BaseOTRounds = ot.BaseOTRounds() - roundsBefore
+		if row.BaseOTRounds != 0 {
+			return row, fmt.Errorf("pooled steady state spent %d base-OT rounds, want 0", row.BaseOTRounds)
+		}
+		if row.PoolHits != uint64(row.Runs) {
+			return row, fmt.Errorf("pooled steady state: %d pool hits over %d runs", row.PoolHits, row.Runs)
+		}
+	}
 	return row, nil
 }

@@ -174,6 +174,10 @@ func (c *Conn) drop() error {
 	return errDropped()
 }
 
+// Read rolls the fault plan before delegating: it may stall, sever the
+// connection, or flip one bit of the bytes it returns (within the
+// plan's corruption window) — exactly one bit per corrupted read, so
+// tests can attribute a failure to a single wire fault.
 func (c *Conn) Read(p []byte) (int, error) {
 	stall, drop, dead := c.roll()
 	if dead {
@@ -215,6 +219,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// Write splits p into MaxWriteChunk slices and rolls the fault plan
+// before each, so a drop can land mid-frame with a short write count —
+// the partial-delivery case parsers must survive.
 func (c *Conn) Write(p []byte) (int, error) {
 	chunk := c.plan.MaxWriteChunk
 	if chunk <= 0 {
@@ -251,6 +258,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return written, nil
 }
 
+// Close cancels any pending delayed-FIN timer and closes the inner
+// connection.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	if c.closeTimer != nil {
@@ -260,10 +269,21 @@ func (c *Conn) Close() error {
 	return c.inner.Close()
 }
 
-func (c *Conn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
-func (c *Conn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
-func (c *Conn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
-func (c *Conn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+// LocalAddr delegates to the wrapped connection.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr delegates to the wrapped connection.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline delegates to the wrapped connection; plan stalls sleep
+// through deadlines rather than honoring them, like a kernel buffer
+// would.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline delegates to the wrapped connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline delegates to the wrapped connection.
 func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
 
 // subSeed derives the seed of the n-th connection of a wrapper from the

@@ -149,6 +149,11 @@ type Stats struct {
 	ActiveSessions int
 	// SessionsRouted counts sessions relayed to some backend.
 	SessionsRouted uint64
+	// SessionsPooled counts routed sessions whose backend granted the
+	// precomputed-OT tier; the refill and derandomization bytes traverse
+	// the splice opaquely, so this handshake bit is all the proxy ever
+	// learns about pooling.
+	SessionsPooled uint64
 	// SessionsRefused counts sessions refused because no backend was
 	// routable.
 	SessionsRefused uint64
@@ -189,6 +194,7 @@ type Fleet struct {
 	probeWG   sync.WaitGroup
 
 	routed       atomic.Uint64
+	pooledRouted atomic.Uint64
 	refused      atomic.Uint64
 	failovers    atomic.Uint64
 	dialFailures atomic.Uint64
@@ -463,6 +469,9 @@ func (f *Fleet) handle(conn net.Conn) {
 		}
 		b.reportSuccess(f)
 		f.routed.Add(1)
+		if rf.Pooled {
+			f.pooledRouted.Add(1)
+		}
 		b.routed.Add(1)
 		if werr := f.reply(conn, func() error { _, werr := conn.Write(rf.Raw); return werr }); werr != nil {
 			bconn.Close()
@@ -681,6 +690,7 @@ func (f *Fleet) Stats() Stats {
 	st := Stats{
 		ActiveSessions:       int(f.active.Load()),
 		SessionsRouted:       f.routed.Load(),
+		SessionsPooled:       f.pooledRouted.Load(),
 		SessionsRefused:      f.refused.Load(),
 		Failovers:            f.failovers.Load(),
 		DialFailures:         f.dialFailures.Load(),

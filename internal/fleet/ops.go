@@ -88,6 +88,7 @@ func (f *Fleet) MetricsText() string {
 	gauge("haac_fleet_backends_total", "Backends configured.", float64(len(st.Backends)))
 	gauge("haac_fleet_sessions_active", "Sessions currently spliced to a backend.", float64(st.ActiveSessions))
 	counter("haac_fleet_sessions_routed_total", "Sessions relayed to a backend.", float64(st.SessionsRouted))
+	counter("haac_fleet_sessions_pooled_total", "Routed sessions granted the precomputed-OT tier by their backend.", float64(st.SessionsPooled))
 	counter("haac_fleet_sessions_refused_total", "Sessions refused because no backend was routable.", float64(st.SessionsRefused))
 	counter("haac_fleet_failovers_total", "Sessions routed past their rendezvous-first backend.", float64(st.Failovers))
 	counter("haac_fleet_dial_failures_total", "Failed backend dials.", float64(st.DialFailures))

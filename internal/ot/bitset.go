@@ -44,8 +44,25 @@ func (b Bitset) Set(j int, v bool) {
 	}
 }
 
-// Bools unpacks the bitset into a fresh []bool (used to bridge into the
-// base-OT protocols, which stay per-transfer anyway).
+// CopyBools repacks choices into b in place; len(choices) must equal
+// Len. It lets a long-lived session reuse one bitset across runs
+// instead of allocating with BitsetFromBools per run.
+func (b Bitset) CopyBools(choices []bool) {
+	if len(choices) != b.n {
+		panic("ot: CopyBools length mismatch")
+	}
+	for w := range b.words {
+		b.words[w] = 0
+	}
+	for j, c := range choices {
+		if c {
+			b.words[j>>6] |= 1 << (uint(j) & 63)
+		}
+	}
+}
+
+// Bools unpacks the bitset into a fresh []bool (kept for tests and
+// callers that want per-transfer bits back).
 func (b Bitset) Bools() []bool {
 	out := make([]bool, b.n)
 	for j := range out {

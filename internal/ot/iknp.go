@@ -167,19 +167,11 @@ func iknpSend(conn io.ReadWriter, base Protocol, pairs []Pair) error {
 	}
 
 	// 1. Base OTs, reversed: we receive with random choices s.
-	var rb [kappa / 8]byte
-	if _, err := rand.Read(rb[:]); err != nil {
-		return fmt.Errorf("ot: sampling s: %w", err)
+	sBits, sRow, err := sampleS()
+	if err != nil {
+		return err
 	}
-	sBits := make([]bool, kappa)
-	var sRow row
-	for i := range sBits {
-		sBits[i] = rb[i/8]>>(uint(i)%8)&1 == 1
-		if sBits[i] {
-			sRow[i/64] |= 1 << (uint(i) % 64)
-		}
-	}
-	seeds, err := Receive(conn, base, sBits)
+	seeds, err := ReceiveBitset(conn, base, BitsetFromBools(sBits))
 	if err != nil {
 		return fmt.Errorf("ot: base OTs: %w", err)
 	}
@@ -203,6 +195,25 @@ func iknpSend(conn io.ReadWriter, base Protocol, pairs []Pair) error {
 		}
 	}
 	return nil
+}
+
+// sampleS draws the extension sender's random base-OT choice vector s,
+// returned both per-bit (for the column masks) and packed as a row (for
+// the q ^ s hash inputs).
+func sampleS() ([]bool, row, error) {
+	var rb [kappa / 8]byte
+	var sRow row
+	if _, err := rand.Read(rb[:]); err != nil {
+		return nil, sRow, fmt.Errorf("ot: sampling s: %w", err)
+	}
+	sBits := make([]bool, kappa)
+	for i := range sBits {
+		sBits[i] = rb[i/8]>>(uint(i)%8)&1 == 1
+		if sBits[i] {
+			sRow[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	return sBits, sRow, nil
 }
 
 // sendChunk runs the sender side for one chunk of transfers: receive the
@@ -269,17 +280,9 @@ func iknpReceive(conn io.ReadWriter, base Protocol, choices Bitset) ([]label.L, 
 	}
 
 	// 1. Base OTs, reversed: we send seed pairs.
-	basePairs := make([]Pair, kappa)
-	for i := range basePairs {
-		m0, err := label.Rand()
-		if err != nil {
-			return nil, err
-		}
-		m1, err := label.Rand()
-		if err != nil {
-			return nil, err
-		}
-		basePairs[i] = Pair{M0: m0, M1: m1}
+	basePairs, err := baseSeedPairs()
+	if err != nil {
+		return nil, err
 	}
 	if err := Send(conn, base, basePairs); err != nil {
 		return nil, fmt.Errorf("ot: base OTs: %w", err)
@@ -304,6 +307,24 @@ func iknpReceive(conn io.ReadWriter, base Protocol, choices Bitset) ([]label.L, 
 		}
 	}
 	return out, nil
+}
+
+// baseSeedPairs samples the kappa random seed pairs the extension
+// receiver plays base-OT sender with.
+func baseSeedPairs() ([]Pair, error) {
+	basePairs := make([]Pair, kappa)
+	for i := range basePairs {
+		m0, err := label.Rand()
+		if err != nil {
+			return nil, err
+		}
+		m1, err := label.Rand()
+		if err != nil {
+			return nil, err
+		}
+		basePairs[i] = Pair{M0: m0, M1: m1}
+	}
+	return basePairs, nil
 }
 
 // receiveChunk runs the receiver side for one chunk: build T column-wise

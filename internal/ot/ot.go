@@ -2,7 +2,7 @@
 // GCs protocol uses to deliver the evaluator's input labels without the
 // garbler learning the evaluator's inputs (§2.1).
 //
-// Two implementations are provided:
+// Three on-demand implementations are provided:
 //
 //   - DH: a semi-honest Bellare–Micali style OT over NIST P-256
 //     (stdlib crypto/elliptic). Appropriate for the repository's threat
@@ -11,6 +11,13 @@
 //     bits. It exercises the same protocol plumbing at zero cost and is
 //     used by large-scale tests and simulations; never use it for real
 //     secrets.
+//   - IKNP: OT extension — 128 DH base OTs stretched to the whole batch
+//     with symmetric crypto (iknp.go).
+//
+// A fourth mode, Pooled, is not an on-demand protocol: Pool (pool.go)
+// precomputes random-OT correlations ahead of time and derandomizes them
+// against the real messages and choices in a single XOR round online,
+// removing the base-OT latency floor from the serving path.
 //
 // Both sides operate over an io.ReadWriter carrying length-free fixed-
 // format messages, batched for the whole choice vector.
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync/atomic"
 
 	"haac/internal/label"
 )
@@ -45,11 +53,33 @@ const (
 	// batch with symmetric crypto (see iknp.go). The right choice for
 	// large evaluator inputs.
 	IKNP
+	// Pooled consumes precomputed random-OT correlations from a Pool
+	// with one choice-correction XOR round online. It is session state,
+	// not an on-demand protocol: Send/Receive reject it — callers go
+	// through Pool.SendDerand/Pool.ReceiveDerand instead. The value
+	// appears on the wire in the session hello (requesting the pooled
+	// tier) and in the per-run header (marking a pool-hit run).
+	Pooled
 )
 
 const pointSize = 65 // uncompressed P-256 point
 
-// Send runs the sender side for a batch of pairs.
+// baseOTRounds counts base-OT establishment rounds: one per DH batch on
+// either side (dhSend/dhReceive). IKNP pays one round per extension,
+// pool setup pays one round per connection, and the pooled online path
+// pays none — the counter is the test hook that proves it, mirroring
+// circuit.PlanBuilds.
+var baseOTRounds atomic.Uint64
+
+// BaseOTRounds returns the process-wide number of DH base-OT batch
+// rounds performed so far. Benchmarks read it before and after a
+// steady-state window to assert the pooled path never touches a base
+// OT.
+func BaseOTRounds() uint64 { return baseOTRounds.Load() }
+
+// Send runs the sender side for a batch of pairs. Pooled is rejected:
+// derandomized sends go through Pool.SendDerand, which holds the
+// precomputed correlations an on-demand call cannot have.
 func Send(conn io.ReadWriter, proto Protocol, pairs []Pair) error {
 	switch proto {
 	case DH:
@@ -58,6 +88,8 @@ func Send(conn io.ReadWriter, proto Protocol, pairs []Pair) error {
 		return insecureSend(conn, pairs)
 	case IKNP:
 		return iknpSend(conn, DH, pairs)
+	case Pooled:
+		return fmt.Errorf("ot: pooled OT needs a session Pool (use Pool.SendDerand)")
 	}
 	return fmt.Errorf("ot: unknown protocol %d", proto)
 }
@@ -65,29 +97,25 @@ func Send(conn io.ReadWriter, proto Protocol, pairs []Pair) error {
 // Receive runs the receiver side for a batch of choice bits, returning
 // the chosen message per transfer.
 func Receive(conn io.ReadWriter, proto Protocol, choices []bool) ([]label.L, error) {
+	return ReceiveBitset(conn, proto, BitsetFromBools(choices))
+}
+
+// ReceiveBitset is Receive with a packed choice vector, which every
+// protocol now consumes directly: IKNP's hot path works on 64-choice
+// words, and the per-transfer base protocols index bits in place — a
+// pool refill of 16384 correlations no longer unpacks a 16 KiB bool
+// slice per chunk. Results are identical to Receive on the unpacked
+// bools. Pooled is rejected; use Pool.ReceiveDerand.
+func ReceiveBitset(conn io.ReadWriter, proto Protocol, choices Bitset) ([]label.L, error) {
 	switch proto {
 	case DH:
 		return dhReceive(conn, choices)
 	case Insecure:
 		return insecureReceive(conn, choices)
 	case IKNP:
-		return iknpReceive(conn, DH, BitsetFromBools(choices))
-	}
-	return nil, fmt.Errorf("ot: unknown protocol %d", proto)
-}
-
-// ReceiveBitset is Receive with a packed choice vector. IKNP consumes
-// the bitset directly (its hot path works on 64-choice words); the
-// per-transfer base protocols unpack it at the boundary. Results are
-// identical to Receive on the unpacked bools.
-func ReceiveBitset(conn io.ReadWriter, proto Protocol, choices Bitset) ([]label.L, error) {
-	switch proto {
-	case DH:
-		return dhReceive(conn, choices.Bools())
-	case Insecure:
-		return insecureReceive(conn, choices.Bools())
-	case IKNP:
 		return iknpReceive(conn, DH, choices)
+	case Pooled:
+		return nil, fmt.Errorf("ot: pooled OT needs a session Pool (use Pool.ReceiveDerand)")
 	}
 	return nil, fmt.Errorf("ot: unknown protocol %d", proto)
 }
@@ -117,17 +145,16 @@ func insecureSend(conn io.ReadWriter, pairs []Pair) error {
 	return nil
 }
 
-func insecureReceive(conn io.ReadWriter, choices []bool) ([]label.L, error) {
-	choice := make([]byte, len(choices))
-	for i, c := range choices {
-		if c {
-			choice[i] = 1
-		}
+func insecureReceive(conn io.ReadWriter, choices Bitset) ([]label.L, error) {
+	n := choices.Len()
+	choice := make([]byte, n)
+	for i := range choice {
+		choice[i] = byte(choices.Bit(i))
 	}
 	if _, err := conn.Write(choice); err != nil {
 		return nil, fmt.Errorf("ot: sending choices: %w", err)
 	}
-	out := make([]label.L, len(choices))
+	out := make([]label.L, n)
 	buf := make([]byte, label.Size)
 	for i := range out {
 		if _, err := io.ReadFull(conn, buf); err != nil {
@@ -146,6 +173,7 @@ func insecureReceive(conn io.ReadWriter, choices []bool) ([]label.L, error) {
 // other key (CDH).
 
 func dhSend(conn io.ReadWriter, pairs []Pair) error {
+	baseOTRounds.Add(1)
 	curve := elliptic.P256()
 	a, err := rand.Int(rand.Reader, curve.Params().N)
 	if err != nil {
@@ -189,7 +217,8 @@ func dhSend(conn io.ReadWriter, pairs []Pair) error {
 	return nil
 }
 
-func dhReceive(conn io.ReadWriter, choices []bool) ([]label.L, error) {
+func dhReceive(conn io.ReadWriter, choices Bitset) ([]label.L, error) {
+	baseOTRounds.Add(1)
 	curve := elliptic.P256()
 	ptBuf := make([]byte, pointSize)
 	if _, err := io.ReadFull(conn, ptBuf); err != nil {
@@ -200,20 +229,21 @@ func dhReceive(conn io.ReadWriter, choices []bool) ([]label.L, error) {
 		return nil, fmt.Errorf("ot: invalid point A")
 	}
 
+	n := choices.Len()
 	type state struct{ b *big.Int }
-	states := make([]state, len(choices))
+	states := make([]state, n)
 	// One batched write for the B points, mirroring the sender's
 	// batched ciphertext phase: identical bytes, far fewer frames on a
 	// framed transport.
-	bPoints := make([]byte, pointSize*len(choices))
-	for i, c := range choices {
+	bPoints := make([]byte, pointSize*n)
+	for i := range states {
 		b, err := rand.Int(rand.Reader, curve.Params().N)
 		if err != nil {
 			return nil, fmt.Errorf("ot: sampling scalar: %w", err)
 		}
 		states[i].b = b
 		bx, by := curve.ScalarBaseMult(b.Bytes())
-		if c {
+		if choices.Bit(i) == 1 {
 			bx, by = curve.Add(bx, by, ax, ay)
 		}
 		copy(bPoints[i*pointSize:], elliptic.Marshal(curve, bx, by))
@@ -222,15 +252,15 @@ func dhReceive(conn io.ReadWriter, choices []bool) ([]label.L, error) {
 		return nil, fmt.Errorf("ot: sending B points: %w", err)
 	}
 
-	out := make([]label.L, len(choices))
+	out := make([]label.L, n)
 	msg := make([]byte, 2*label.Size)
-	for i, c := range choices {
+	for i := range out {
 		if _, err := io.ReadFull(conn, msg); err != nil {
 			return nil, fmt.Errorf("ot: reading ciphertexts %d: %w", i, err)
 		}
 		kx, ky := curve.ScalarMult(ax, ay, states[i].b.Bytes())
 		k := kdf(curve, kx, ky, uint64(i))
-		if c {
+		if choices.Bit(i) == 1 {
 			out[i] = label.FromBytes(msg[16:32]).Xor(k)
 		} else {
 			out[i] = label.FromBytes(msg[0:16]).Xor(k)

@@ -1,0 +1,446 @@
+package ot
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"haac/internal/label"
+)
+
+// Precomputed OT: a Pool runs the expensive part of oblivious transfer
+// — base OTs plus IKNP extension — ahead of time against a fixed peer
+// and stores the resulting *random*-OT correlations. Online, the stored
+// correlations are derandomized against the real messages and choice
+// bits (Beaver's trick) in a single XOR round, so a serving session's
+// input phase costs two symmetric-speed messages instead of a base-OT
+// handshake.
+//
+// Correlations: for transfer j the sender holds two random labels
+// (r0, r1) and the receiver holds a random bit d and the label r_d.
+// They come from the IKNP rows for free — the sender keeps
+// r0 = H(j, q_j) and r1 = H(j, q_j ^ s), the receiver keeps d and
+// H(j, t_j) — so a fill round sends only the receiver's 16 bytes/OT
+// masked columns and no ciphertexts at all.
+//
+// Fill wire format (receiver → sender), per chunk of ≤ 16384 transfers:
+//
+//	128 masked columns u_i, ceil(n/8) bytes each (identical layout to
+//	an IKNP extension chunk; no ciphertext phase follows)
+//
+// Both sides must agree on the fill size n out of band — the session
+// layer's refill op carries it. The base-OT state (the sender's secret
+// s and both sides' per-column PRG streams) persists across fills, so a
+// connection pays its base OTs exactly once no matter how many refills
+// follow.
+//
+// Derandomization wire format, for a batch of n real transfers:
+//
+//	receiver → sender: 0xD5 | count u32 (LE) | e bits, ceil(n/8) bytes
+//	sender → receiver: n × 32 bytes: y0 | y1 per transfer
+//
+// e_j = c_j ^ d_j is the choice correction (packed LSB-first like
+// Bitset), and the sender answers y_i = m_i ^ r_(i^e_j), i.e. it swaps
+// its two random masks when e_j is set; the receiver recovers
+// m_c = y_c ^ r_d. Correlations are strictly consumed front to back and
+// never reused: both frames are refused (ErrDerand) or fail
+// (ErrPoolDrained) rather than stretch the pool.
+
+// ErrPoolDrained reports a derandomization batch larger than the pool's
+// current level; the caller falls back to an on-demand protocol.
+var ErrPoolDrained = errors.New("ot: pool drained")
+
+// ErrDerand reports a structurally invalid derandomization frame: bad
+// magic or a count that does not match the agreed batch.
+var ErrDerand = errors.New("ot: malformed derandomization frame")
+
+const (
+	derandMagic     = 0xD5
+	derandHeaderLen = 5
+	maskedPairBytes = 2 * label.Size
+)
+
+// Pool holds precomputed random-OT correlations against one peer,
+// bound to the connection its base OTs ran over. One side constructs
+// a sender pool, the other a receiver pool; Fill and the derand calls
+// must then alternate in lockstep on both ends (the session layer's
+// single-connection serialization provides that for free). A Pool is
+// not safe for concurrent use.
+type Pool struct {
+	sender bool
+
+	// Persistent extension state, sender role: the secret choice
+	// vector s and one PRG stream per base OT.
+	sBits []bool
+	sRow  row
+	prgs  []prgStream
+
+	// Persistent extension state, receiver role: both PRG streams per
+	// base OT.
+	prg0, prg1 []prgStream
+
+	tweak uint64 // next transfer index, monotone across fills
+	sc    *extScratch
+	rnd   []byte // receiver: per-chunk random choice bytes
+
+	// Stored correlations, consumed front to back from head.
+	r0, r1 []label.L // sender: both random masks per transfer
+	rl     []label.L // receiver: the learned mask r_d per transfer
+	d      []byte    // receiver: the random choice bit per transfer
+	head   int
+
+	ein  []byte // online scratch: correction frame
+	mout []byte // online scratch: masked-pair slab
+}
+
+// NewSenderPool runs the one-time base-OT setup for the message-sender
+// side over conn and returns an empty pool ready to Fill. base selects
+// the protocol for the 128 base OTs: DH (secure) or Insecure
+// (benchmarks only). The peer must run NewReceiverPool with the same
+// base at the same point in the stream.
+func NewSenderPool(conn io.ReadWriter, base Protocol) (*Pool, error) {
+	if base != DH && base != Insecure {
+		return nil, fmt.Errorf("ot: pool base protocol must be DH or Insecure, got %d", base)
+	}
+	sBits, sRow, err := sampleS()
+	if err != nil {
+		return nil, err
+	}
+	seeds, err := ReceiveBitset(conn, base, BitsetFromBools(sBits))
+	if err != nil {
+		return nil, fmt.Errorf("ot: pool base OTs: %w", err)
+	}
+	p := &Pool{sender: true, sBits: sBits, sRow: sRow, prgs: make([]prgStream, kappa)}
+	for i := range p.prgs {
+		p.prgs[i].init(seeds[i])
+	}
+	return p, nil
+}
+
+// NewReceiverPool runs the one-time base-OT setup for the choice-maker
+// side over conn; see NewSenderPool.
+func NewReceiverPool(conn io.ReadWriter, base Protocol) (*Pool, error) {
+	if base != DH && base != Insecure {
+		return nil, fmt.Errorf("ot: pool base protocol must be DH or Insecure, got %d", base)
+	}
+	basePairs, err := baseSeedPairs()
+	if err != nil {
+		return nil, err
+	}
+	if err := Send(conn, base, basePairs); err != nil {
+		return nil, fmt.Errorf("ot: pool base OTs: %w", err)
+	}
+	p := &Pool{prg0: make([]prgStream, kappa), prg1: make([]prgStream, kappa)}
+	for i := range p.prg0 {
+		p.prg0[i].init(basePairs[i].M0)
+		p.prg1[i].init(basePairs[i].M1)
+	}
+	return p, nil
+}
+
+// Sender reports whether this is the message-sender side of the pool.
+func (p *Pool) Sender() bool { return p.sender }
+
+// Level returns the number of unconsumed correlations.
+func (p *Pool) Level() int {
+	if p.sender {
+		return len(p.r0) - p.head
+	}
+	return len(p.rl) - p.head
+}
+
+// Fill extends the pool by n correlations, streaming in IKNP-sized
+// chunks. Both sides must call Fill with the same n at the same point
+// in the connection's byte stream.
+func (p *Pool) Fill(conn io.ReadWriter, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	p.compact()
+	p.ensureScratch(n)
+	for off := 0; off < n; off += extChunk {
+		mc := n - off
+		if mc > extChunk {
+			mc = extChunk
+		}
+		var err error
+		if p.sender {
+			err = p.fillSendChunk(conn, mc)
+		} else {
+			err = p.fillRecvChunk(conn, mc)
+		}
+		if err != nil {
+			return err
+		}
+		p.tweak += uint64(mc)
+	}
+	return nil
+}
+
+// SendDerand consumes len(pairs) pooled correlations to obliviously
+// send the given message pairs: it reads the receiver's choice
+// correction and answers with one masked-pair slab (see the wire format
+// above). Steady state performs no allocation and no public-key work.
+func (p *Pool) SendDerand(conn io.ReadWriter, pairs []Pair) error {
+	n := len(pairs)
+	if n == 0 {
+		return nil
+	}
+	if !p.sender {
+		return errors.New("ot: SendDerand on a receiver pool")
+	}
+	if p.Level() < n {
+		return fmt.Errorf("%w: have %d, need %d", ErrPoolDrained, p.Level(), n)
+	}
+	ebytes := (n + 7) / 8
+	p.ein = growBytes(p.ein, derandHeaderLen+ebytes)
+	frame := p.ein[:derandHeaderLen+ebytes]
+	if err := readDerandFrame(conn, n, frame); err != nil {
+		return err
+	}
+	e := frame[derandHeaderLen:]
+	p.mout = growBytes(p.mout, maskedPairBytes*n)
+	out := p.mout[:maskedPairBytes*n]
+	for j := 0; j < n; j++ {
+		r0, r1 := p.r0[p.head+j], p.r1[p.head+j]
+		if e[j>>3]>>(uint(j)&7)&1 == 1 {
+			r0, r1 = r1, r0
+		}
+		pairs[j].M0.Xor(r0).Put(out[j*maskedPairBytes:])
+		pairs[j].M1.Xor(r1).Put(out[j*maskedPairBytes+label.Size:])
+	}
+	p.head += n
+	if _, err := conn.Write(out); err != nil {
+		return fmt.Errorf("ot: sending masked pairs: %w", err)
+	}
+	return nil
+}
+
+// ReceiveDerand consumes choices.Len() pooled correlations to learn the
+// chosen message per transfer, writing them into out (whose length must
+// match). Steady state performs no allocation and no public-key work.
+func (p *Pool) ReceiveDerand(conn io.ReadWriter, choices Bitset, out []label.L) error {
+	n := choices.Len()
+	if len(out) != n {
+		return fmt.Errorf("ot: ReceiveDerand output length %d, want %d", len(out), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if p.sender {
+		return errors.New("ot: ReceiveDerand on a sender pool")
+	}
+	if p.Level() < n {
+		return fmt.Errorf("%w: have %d, need %d", ErrPoolDrained, p.Level(), n)
+	}
+	ebytes := (n + 7) / 8
+	p.ein = growBytes(p.ein, derandHeaderLen+ebytes)
+	frame := p.ein[:derandHeaderLen+ebytes]
+	frame[0] = derandMagic
+	binary.LittleEndian.PutUint32(frame[1:derandHeaderLen], uint32(n))
+	e := frame[derandHeaderLen:]
+	for i := range e {
+		e[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		if choices.Bit(j) != int(p.d[p.head+j]) {
+			e[j>>3] |= 1 << (uint(j) & 7)
+		}
+	}
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("ot: sending derand frame: %w", err)
+	}
+	p.mout = growBytes(p.mout, maskedPairBytes*n)
+	in := p.mout[:maskedPairBytes*n]
+	if _, err := io.ReadFull(conn, in); err != nil {
+		return fmt.Errorf("ot: reading masked pairs: %w", err)
+	}
+	for j := 0; j < n; j++ {
+		off := j*maskedPairBytes + choices.Bit(j)*label.Size
+		out[j] = label.FromBytes(in[off : off+label.Size]).Xor(p.rl[p.head+j])
+	}
+	p.head += n
+	return nil
+}
+
+// readDerandFrame reads and validates one choice-correction frame for
+// an agreed batch of want transfers into frame, which must hold
+// derandHeaderLen + ceil(want/8) bytes. Structural refusals wrap
+// ErrDerand; transport failures return the underlying error.
+func readDerandFrame(r io.Reader, want int, frame []byte) error {
+	if _, err := io.ReadFull(r, frame[:derandHeaderLen]); err != nil {
+		return fmt.Errorf("ot: reading derand frame: %w", err)
+	}
+	if frame[0] != derandMagic {
+		return fmt.Errorf("%w: bad magic 0x%02x", ErrDerand, frame[0])
+	}
+	if got := binary.LittleEndian.Uint32(frame[1:derandHeaderLen]); got != uint32(want) {
+		return fmt.Errorf("%w: count %d, want %d", ErrDerand, got, want)
+	}
+	if _, err := io.ReadFull(r, frame[derandHeaderLen:]); err != nil {
+		return fmt.Errorf("ot: reading correction bits: %w", err)
+	}
+	return nil
+}
+
+// compact discards consumed correlations so fills append into the slack
+// the online phase opened up instead of growing without bound.
+func (p *Pool) compact() {
+	if p.head == 0 {
+		return
+	}
+	if p.sender {
+		p.r0 = p.r0[:copy(p.r0, p.r0[p.head:])]
+		p.r1 = p.r1[:copy(p.r1, p.r1[p.head:])]
+	} else {
+		p.rl = p.rl[:copy(p.rl, p.rl[p.head:])]
+		p.d = p.d[:copy(p.d, p.d[p.head:])]
+	}
+	p.head = 0
+}
+
+// ensureScratch sizes the chunk working set for a fill of n transfers;
+// it grows monotonically and is reused across fills. The ciphertext
+// slab of a plain extension is never allocated — fills have no
+// ciphertext phase.
+func (p *Pool) ensureScratch(n int) {
+	chunk := n
+	if chunk > extChunk {
+		chunk = extChunk
+	}
+	words := (chunk + 63) / 64
+	if p.sc != nil && len(p.sc.rows) >= words*64 {
+		return
+	}
+	p.sc = &extScratch{
+		cols: make([]uint64, kappa*words),
+		aux:  make([]uint64, 2*words),
+		rows: make([]row, words*64),
+		ubuf: make([]byte, words*8),
+	}
+	if !p.sender {
+		p.rnd = make([]byte, words*8)
+	}
+}
+
+// fillSendChunk runs the sender side of one fill chunk: read the masked
+// columns, build Q, transpose, and bank (H(j, q), H(j, q^s)) per row.
+func (p *Pool) fillSendChunk(conn io.ReadWriter, mc int) error {
+	colWords := (mc + 63) / 64
+	colBytes := (mc + 7) / 8
+	sc := p.sc
+
+	for i := 0; i < kappa; i++ {
+		col := sc.cols[i*colWords : (i+1)*colWords]
+		p.prgs[i].expand(col)
+		u := sc.ubuf[:colBytes]
+		if _, err := io.ReadFull(conn, u); err != nil {
+			return fmt.Errorf("ot: reading fill column %d: %w", i, err)
+		}
+		if p.sBits[i] {
+			xorBytesIntoWords(col, u)
+		}
+	}
+
+	rows := sc.rows[:colWords*64]
+	transposeColumns(rows, sc.cols[:kappa*colWords], colWords)
+
+	j := 0
+	for ; j+1 < mc; j += 2 {
+		q0 := rows[j]
+		q0s := q0
+		q0s.xor(p.sRow)
+		q1 := rows[j+1]
+		q1s := q1
+		q1s.xor(p.sRow)
+		t0, t1 := p.tweak+uint64(j), p.tweak+uint64(j)+1
+		k00, k01, k10, k11 := crHasher.Hash4(rowLabel(q0), rowLabel(q0s), rowLabel(q1), rowLabel(q1s), t0, t0, t1, t1)
+		p.r0 = append(p.r0, k00, k10)
+		p.r1 = append(p.r1, k01, k11)
+	}
+	if j < mc {
+		q := rows[j]
+		qs := q
+		qs.xor(p.sRow)
+		t := p.tweak + uint64(j)
+		p.r0 = append(p.r0, rowHash(t, q))
+		p.r1 = append(p.r1, rowHash(t, qs))
+	}
+	return nil
+}
+
+// fillRecvChunk runs the receiver side of one fill chunk: draw random
+// choice bits, send the masked columns, transpose, and bank
+// (d, H(j, t_j)) per row.
+func (p *Pool) fillRecvChunk(conn io.ReadWriter, mc int) error {
+	colWords := (mc + 63) / 64
+	colBytes := (mc + 7) / 8
+	sc := p.sc
+
+	half := len(sc.aux) / 2
+	ucol := sc.aux[:colWords]
+	rcol := sc.aux[half : half+colWords]
+	if _, err := rand.Read(p.rnd[:colWords*8]); err != nil {
+		return fmt.Errorf("ot: sampling pool choices: %w", err)
+	}
+	for w := 0; w < colWords; w++ {
+		rcol[w] = binary.LittleEndian.Uint64(p.rnd[w*8:])
+	}
+	if tail := uint(mc % 64); tail != 0 {
+		rcol[colWords-1] &= 1<<tail - 1
+	}
+
+	for i := 0; i < kappa; i++ {
+		col0 := sc.cols[i*colWords : (i+1)*colWords]
+		p.prg0[i].expand(col0)
+		p.prg1[i].expand(ucol)
+		for w := range ucol {
+			ucol[w] ^= col0[w] ^ rcol[w]
+		}
+		u := sc.ubuf[:colBytes]
+		for w := 0; w < colWords; w++ {
+			if (w+1)*8 <= colBytes {
+				binary.LittleEndian.PutUint64(u[w*8:], ucol[w])
+			} else {
+				var last [8]byte
+				binary.LittleEndian.PutUint64(last[:], ucol[w])
+				copy(u[w*8:], last[:])
+			}
+		}
+		if _, err := conn.Write(u); err != nil {
+			return fmt.Errorf("ot: sending fill column %d: %w", i, err)
+		}
+	}
+
+	rows := sc.rows[:colWords*64]
+	transposeColumns(rows, sc.cols[:kappa*colWords], colWords)
+
+	j := 0
+	for ; j+3 < mc; j += 4 {
+		t := p.tweak + uint64(j)
+		k0, k1, k2, k3 := crHasher.Hash4(rowLabel(rows[j]), rowLabel(rows[j+1]), rowLabel(rows[j+2]), rowLabel(rows[j+3]), t, t+1, t+2, t+3)
+		p.rl = append(p.rl, k0, k1, k2, k3)
+		p.d = append(p.d,
+			byte(rcol[j>>6]>>(uint(j)&63)&1),
+			byte(rcol[(j+1)>>6]>>(uint(j+1)&63)&1),
+			byte(rcol[(j+2)>>6]>>(uint(j+2)&63)&1),
+			byte(rcol[(j+3)>>6]>>(uint(j+3)&63)&1))
+	}
+	for ; j < mc; j++ {
+		p.rl = append(p.rl, rowHash(p.tweak+uint64(j), rows[j]))
+		p.d = append(p.d, byte(rcol[j>>6]>>(uint(j)&63)&1))
+	}
+	return nil
+}
+
+// growBytes returns b resized to n bytes, reallocating only when the
+// capacity is short — the steady-state path reuses the old backing
+// array.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}

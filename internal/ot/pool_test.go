@@ -1,0 +1,286 @@
+package ot
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"haac/internal/label"
+)
+
+// newPoolPair builds a connected sender/receiver pool over a pipe,
+// returning both ends of the pipe for the online phase.
+func newPoolPair(t *testing.T, base Protocol) (*Pool, *Pool, net.Conn, net.Conn) {
+	t.Helper()
+	cs, cr := net.Pipe()
+	t.Cleanup(func() { cs.Close(); cr.Close() })
+	var sp *Pool
+	errc := make(chan error, 1)
+	go func() {
+		var err error
+		sp, err = NewSenderPool(cs, base)
+		errc <- err
+	}()
+	rp, err := NewReceiverPool(cr, base)
+	if err != nil {
+		t.Fatalf("NewReceiverPool: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("NewSenderPool: %v", err)
+	}
+	return sp, rp, cs, cr
+}
+
+// fillBoth runs one lockstep Fill of n on both pools.
+func fillBoth(t *testing.T, sp, rp *Pool, cs, cr net.Conn, n int) {
+	t.Helper()
+	errc := make(chan error, 1)
+	go func() { errc <- sp.Fill(cs, n) }()
+	if err := rp.Fill(cr, n); err != nil {
+		t.Fatalf("receiver Fill(%d): %v", n, err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("sender Fill(%d): %v", n, err)
+	}
+}
+
+// derandBoth runs one lockstep derandomized batch and checks the
+// receiver learned exactly its chosen messages.
+func derandBoth(t *testing.T, sp, rp *Pool, cs, cr net.Conn, n int) {
+	t.Helper()
+	pairs := make([]Pair, n)
+	choices := NewBitset(n)
+	var cb [1]byte
+	for i := range pairs {
+		m0, _ := label.Rand()
+		m1, _ := label.Rand()
+		pairs[i] = Pair{M0: m0, M1: m1}
+		rand.Read(cb[:])
+		choices.Set(i, cb[0]&1 == 1)
+	}
+	out := make([]label.L, n)
+	errc := make(chan error, 1)
+	go func() { errc <- sp.SendDerand(cs, pairs) }()
+	if err := rp.ReceiveDerand(cr, choices, out); err != nil {
+		t.Fatalf("ReceiveDerand(%d): %v", n, err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("SendDerand(%d): %v", n, err)
+	}
+	for i := range pairs {
+		want := pairs[i].M0
+		if choices.Bit(i) == 1 {
+			want = pairs[i].M1
+		}
+		if out[i] != want {
+			t.Fatalf("transfer %d: got %v, want %v (choice %d)", i, out[i], want, choices.Bit(i))
+		}
+	}
+}
+
+func TestPoolDerandMatchesChoices(t *testing.T) {
+	sp, rp, cs, cr := newPoolPair(t, Insecure)
+	// Ragged batch sizes cover bit-packing tails (1, 63..65) and
+	// interleave refills with consumption across the compaction path.
+	fillBoth(t, sp, rp, cs, cr, 200)
+	if sp.Level() != 200 || rp.Level() != 200 {
+		t.Fatalf("levels after fill: %d/%d, want 200", sp.Level(), rp.Level())
+	}
+	for _, n := range []int{1, 63, 64, 65, 7} {
+		derandBoth(t, sp, rp, cs, cr, n)
+	}
+	if got := sp.Level(); got != 0 {
+		t.Fatalf("sender level after draining: %d, want 0", got)
+	}
+	fillBoth(t, sp, rp, cs, cr, 130)
+	derandBoth(t, sp, rp, cs, cr, 130)
+}
+
+func TestPoolDerandDHBase(t *testing.T) {
+	before := BaseOTRounds()
+	sp, rp, cs, cr := newPoolPair(t, DH)
+	if got := BaseOTRounds() - before; got != 2 {
+		t.Fatalf("base-OT rounds for setup: %d, want 2 (one per side)", got)
+	}
+	fillBoth(t, sp, rp, cs, cr, 96)
+	derandBoth(t, sp, rp, cs, cr, 96)
+	if got := BaseOTRounds() - before; got != 2 {
+		t.Fatalf("base-OT rounds after fill+derand: %d, want still 2", got)
+	}
+}
+
+func TestPoolMultiChunkFill(t *testing.T) {
+	// A fill larger than extChunk must stream in chunks and keep the
+	// tweak sequence monotone across them.
+	sp, rp, cs, cr := newPoolPair(t, Insecure)
+	n := extChunk + 257
+	fillBoth(t, sp, rp, cs, cr, n)
+	if sp.Level() != n || rp.Level() != n {
+		t.Fatalf("levels after multi-chunk fill: %d/%d, want %d", sp.Level(), rp.Level(), n)
+	}
+	derandBoth(t, sp, rp, cs, cr, 1024)
+	derandBoth(t, sp, rp, cs, cr, n-1024)
+}
+
+func TestPoolDrained(t *testing.T) {
+	sp, rp, cs, cr := newPoolPair(t, Insecure)
+	fillBoth(t, sp, rp, cs, cr, 8)
+	if err := sp.SendDerand(cs, make([]Pair, 9)); !errors.Is(err, ErrPoolDrained) {
+		t.Fatalf("SendDerand over level: %v, want ErrPoolDrained", err)
+	}
+	out := make([]label.L, 9)
+	if err := rp.ReceiveDerand(cr, NewBitset(9), out); !errors.Is(err, ErrPoolDrained) {
+		t.Fatalf("ReceiveDerand over level: %v, want ErrPoolDrained", err)
+	}
+	// The refusal consumed nothing: the batch that fits still works.
+	derandBoth(t, sp, rp, cs, cr, 8)
+}
+
+func TestPoolRoleMisuse(t *testing.T) {
+	sp, rp, _, _ := newPoolPair(t, Insecure)
+	if err := sp.ReceiveDerand(nil, NewBitset(1), make([]label.L, 1)); err == nil {
+		t.Fatal("ReceiveDerand on sender pool succeeded")
+	}
+	if err := rp.SendDerand(nil, make([]Pair, 1)); err == nil {
+		t.Fatal("SendDerand on receiver pool succeeded")
+	}
+	if err := rp.ReceiveDerand(nil, NewBitset(2), make([]label.L, 1)); err == nil {
+		t.Fatal("ReceiveDerand with mismatched output length succeeded")
+	}
+	if !sp.Sender() || rp.Sender() {
+		t.Fatal("Sender() role reporting wrong")
+	}
+}
+
+func TestPoolZeroBatch(t *testing.T) {
+	sp, rp, _, _ := newPoolPair(t, Insecure)
+	if err := sp.SendDerand(nil, nil); err != nil {
+		t.Fatalf("empty SendDerand: %v", err)
+	}
+	if err := rp.ReceiveDerand(nil, NewBitset(0), nil); err != nil {
+		t.Fatalf("empty ReceiveDerand: %v", err)
+	}
+	if err := sp.Fill(nil, 0); err != nil {
+		t.Fatalf("empty Fill: %v", err)
+	}
+}
+
+func TestDerandFrameRefusals(t *testing.T) {
+	frame := make([]byte, derandHeaderLen+1)
+	// Bad magic.
+	bad := []byte{0x00, 3, 0, 0, 0, 0b101}
+	if err := readDerandFrame(bytes.NewReader(bad), 3, frame); !errors.Is(err, ErrDerand) {
+		t.Fatalf("bad magic: %v, want ErrDerand", err)
+	}
+	// Count mismatch.
+	mismatch := []byte{derandMagic, 4, 0, 0, 0, 0b101}
+	if err := readDerandFrame(bytes.NewReader(mismatch), 3, frame); !errors.Is(err, ErrDerand) {
+		t.Fatalf("count mismatch: %v, want ErrDerand", err)
+	}
+	// Truncated frames surface the transport error, not ErrDerand.
+	if err := readDerandFrame(bytes.NewReader([]byte{derandMagic, 3}), 3, frame); err == nil || errors.Is(err, ErrDerand) {
+		t.Fatalf("truncated header: %v, want transport error", err)
+	}
+	if err := readDerandFrame(bytes.NewReader([]byte{derandMagic, 3, 0, 0, 0}), 3, frame); err == nil || errors.Is(err, ErrDerand) {
+		t.Fatalf("truncated bits: %v, want transport error", err)
+	}
+	// A well-formed frame parses.
+	good := []byte{derandMagic, 3, 0, 0, 0, 0b101}
+	if err := readDerandFrame(bytes.NewReader(good), 3, frame); err != nil {
+		t.Fatalf("good frame: %v", err)
+	}
+	if frame[derandHeaderLen] != 0b101 {
+		t.Fatalf("correction bits: %08b, want 101", frame[derandHeaderLen])
+	}
+}
+
+// FuzzDerandFrame hardens the choice-correction parser the way the
+// session frame parsers are hardened: arbitrary bytes must produce
+// either a clean parse or a typed/transport error — never a panic or a
+// stuck read.
+func FuzzDerandFrame(f *testing.F) {
+	f.Add([]byte{derandMagic, 3, 0, 0, 0, 0b101}, uint16(3))
+	f.Add([]byte{derandMagic, 0, 1, 0, 0}, uint16(256))
+	f.Add([]byte{0x00, 3, 0, 0, 0, 0xff}, uint16(3))
+	f.Add([]byte{}, uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, want uint16) {
+		n := int(want)%4096 + 1
+		frame := make([]byte, derandHeaderLen+(n+7)/8)
+		err := readDerandFrame(bytes.NewReader(data), n, frame)
+		if err == nil {
+			// A clean parse must round-trip: header fields match what
+			// the receiver side would have encoded for n.
+			if frame[0] != derandMagic {
+				t.Fatalf("clean parse with magic 0x%02x", frame[0])
+			}
+			return
+		}
+		if !errors.Is(err, ErrDerand) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}
+
+// TestPoolNoReuseAcrossRefills drains and refills across compaction and
+// verifies every batch still decodes correctly — a stale or duplicated
+// correlation would desynchronize the masks and corrupt the output.
+func TestPoolNoReuseAcrossRefills(t *testing.T) {
+	sp, rp, cs, cr := newPoolPair(t, Insecure)
+	for round := 0; round < 5; round++ {
+		fillBoth(t, sp, rp, cs, cr, 50)
+		derandBoth(t, sp, rp, cs, cr, 30)
+		if sp.Level() != rp.Level() {
+			t.Fatalf("round %d: levels diverged %d/%d", round, sp.Level(), rp.Level())
+		}
+	}
+	derandBoth(t, sp, rp, cs, cr, sp.Level())
+}
+
+// TestPoolOnlineAllocFree gates the pooled tier's steady-state claim:
+// after a warm-up batch sizes the scratch, derandomization allocates
+// nothing on either side — the online phase is XORs and wire I/O only.
+func TestPoolOnlineAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	sp, rp, cs, cr := newPoolPair(t, Insecure)
+	const n, rounds = 256, 4
+	fillBoth(t, sp, rp, cs, cr, n*(rounds+2))
+
+	pairs := make([]Pair, n)
+	choices := NewBitset(n)
+	for i := range pairs {
+		m0, _ := label.Rand()
+		m1, _ := label.Rand()
+		pairs[i] = Pair{M0: m0, M1: m1}
+		choices.Set(i, i%3 == 0)
+	}
+	out := make([]label.L, n)
+	// A persistent sender goroutine fed over buffered channels keeps
+	// goroutine startup out of the measured rounds; AllocsPerRun counts
+	// allocations on all goroutines, the sender's included.
+	reqs := make(chan struct{}, rounds+2)
+	errs := make(chan error, rounds+2)
+	go func() {
+		for range reqs {
+			errs <- sp.SendDerand(cs, pairs)
+		}
+	}()
+	round := func() {
+		reqs <- struct{}{}
+		if err := rp.ReceiveDerand(cr, choices, out); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	round() // warm-up: grows ein/mout scratch once
+	if allocs := testing.AllocsPerRun(rounds, round); allocs > 0 {
+		t.Fatalf("steady-state derandomization allocates %.1f times per batch, want 0", allocs)
+	}
+	close(reqs)
+}

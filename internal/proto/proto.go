@@ -163,7 +163,7 @@ func checkHeaderWant(h, want header) error {
 		return fmt.Errorf("proto: %w: header version %d, want %d", ErrMalformedFrame, h.Version, version)
 	}
 	switch ot.Protocol(h.OTProto) {
-	case ot.DH, ot.Insecure, ot.IKNP:
+	case ot.DH, ot.Insecure, ot.IKNP, ot.Pooled:
 	default:
 		return fmt.Errorf("proto: %w: unknown OT protocol %d", ErrMalformedFrame, h.OTProto)
 	}

@@ -19,8 +19,9 @@ import (
 // lifetime of a connection: the buffered writer/reader, the packed
 // header, OT pair scratch, result buffers and a reusable plan runner
 // all persist, so a steady-state run allocates nothing on either side
-// (OT for evaluator inputs is the one inherently allocating step — its
-// cost is public-key crypto, not transport).
+// (on-demand OT for evaluator inputs is the one inherently allocating
+// step — its cost is public-key crypto, not transport; a run served
+// from an attached ot.Pool avoids even that).
 //
 // Each Run produces a byte stream identical to the one-shot entry
 // points, so a session peer interoperates with RunGarbler/RunEvaluator
@@ -42,6 +43,13 @@ type GarblerSession struct {
 	pairs    []ot.Pair
 	res      []byte
 	out      []bool
+
+	// Pooled OT: when a pool is attached and holds enough correlations,
+	// Run marks the per-run header ot.Pooled and derandomizes instead of
+	// running opts.OT on demand — the evaluator follows the header, so
+	// both sides consume their pools in lockstep.
+	pool       *ot.Pool
+	lastPooled bool
 
 	// Resume scratch: garbling is a pure function of the label-source
 	// state at Begin, so ResumeRun replays a broken run's table stream
@@ -109,7 +117,22 @@ func (s *GarblerSession) Reset(conn io.ReadWriter, otp ot.Protocol) {
 	s.w.Reset(s.rw)
 	h := headerFor(s.c, s.opts)
 	h.encode(s.hdr[:])
+	// A pool is bound to the old connection's base-OT state; the new
+	// connection starts without one until the peer negotiates a refill.
+	s.pool = nil
+	s.lastPooled = false
 }
+
+// SetPool attaches a sender pool whose correlations future Runs may
+// consume. The pool must have been set up over this session's current
+// connection; Reset detaches it.
+func (s *GarblerSession) SetPool(p *ot.Pool) { s.pool = p }
+
+// LastRunPooled reports whether the most recent Run served the
+// evaluator's labels from the pool (a hit) rather than falling back to
+// the on-demand protocol — the serving layer's hit/miss accounting
+// hook.
+func (s *GarblerSession) LastRunPooled() bool { return s.lastPooled }
 
 // Close releases the plan runner's worker pool.
 func (s *GarblerSession) Close() { s.pg.Close() }
@@ -122,6 +145,17 @@ func (s *GarblerSession) Run(garblerBits []bool) ([]bool, error) {
 	if len(garblerBits) != c.GarblerInputs {
 		return nil, fmt.Errorf("proto: got %d garbler bits, want %d", len(garblerBits), c.GarblerInputs)
 	}
+	// Hit/miss decision happens before the header leaves: a pool with
+	// enough correlations marks the run pooled, a short one falls back
+	// to the on-demand protocol for this run only (a miss, not an
+	// error). The header's OT byte tells the evaluator which path this
+	// run takes, keeping both pools in lockstep.
+	otp := s.opts.OT
+	s.lastPooled = s.pool != nil && c.EvaluatorInputs > 0 && s.pool.Level() >= c.EvaluatorInputs
+	if s.lastPooled {
+		otp = ot.Pooled
+	}
+	s.hdr[5] = byte(otp)
 	if _, err := s.w.Write(s.hdr[:]); err != nil {
 		return nil, wrapPeer("writing header", err)
 	}
@@ -138,7 +172,13 @@ func (s *GarblerSession) Run(garblerBits []bool) ([]bool, error) {
 		for i := range s.pairs {
 			s.pairs[i] = ot.Pair{M0: zeros[off+i], M1: zeros[off+i].Xor(r)}
 		}
-		if err := ot.Send(s.rw, s.opts.OT, s.pairs); err != nil {
+		var err error
+		if otp == ot.Pooled {
+			err = s.pool.SendDerand(s.rw, s.pairs)
+		} else {
+			err = ot.Send(s.rw, otp, s.pairs)
+		}
+		if err != nil {
 			return nil, wrapPeer("OT", err)
 		}
 	}
@@ -218,6 +258,14 @@ type EvaluatorSession struct {
 	res    []byte
 	out    []bool
 
+	// choices is the packed per-run choice vector, reused across runs so
+	// the input phase stays allocation-free.
+	choices ot.Bitset
+	// pool, when attached, serves runs whose header arrives marked
+	// ot.Pooled; other runs use the header's on-demand protocol as
+	// always.
+	pool *ot.Pool
+
 	// Resume bookkeeping: once a plan-path run has its inputs (OT done),
 	// the run is resumable — the verified tables in the arena and the
 	// held input labels survive a transport swap, so only tables[got:]
@@ -235,14 +283,15 @@ func NewEvaluatorSession(conn io.ReadWriter, c *circuit.Circuit, opts Options) (
 		return nil, fmt.Errorf("proto: Options.Plan was compiled from a different circuit")
 	}
 	s := &EvaluatorSession{
-		opts:   opts,
-		c:      c,
-		rd:     bufio.NewReaderSize(bytesReaderNone{}, 1<<16),
-		want:   headerFor(c, opts),
-		inputs: make([]label.L, c.NumInputs()),
-		decode: make([]byte, len(c.Outputs)),
-		res:    make([]byte, len(c.Outputs)),
-		out:    make([]bool, len(c.Outputs)),
+		opts:    opts,
+		c:       c,
+		rd:      bufio.NewReaderSize(bytesReaderNone{}, 1<<16),
+		want:    headerFor(c, opts),
+		inputs:  make([]label.L, c.NumInputs()),
+		decode:  make([]byte, len(c.Outputs)),
+		res:     make([]byte, len(c.Outputs)),
+		out:     make([]bool, len(c.Outputs)),
+		choices: ot.NewBitset(c.EvaluatorInputs),
 	}
 	if opts.Plan != nil {
 		s.pe = gc.NewPlanEvaluator(opts.Plan, opts.Hasher, planWorkers(opts))
@@ -266,11 +315,18 @@ type bytesReaderNone struct{}
 func (bytesReaderNone) Read([]byte) (int, error) { return 0, io.EOF }
 
 // Reset rebinds the session to a new connection, keeping the runner and
-// scratch.
+// scratch. Any attached pool is detached: its correlations were bound
+// to the old connection's base-OT state.
 func (s *EvaluatorSession) Reset(conn io.ReadWriter) {
 	s.rw = instrument(conn, &s.opts)
 	s.rd.Reset(s.rw)
+	s.pool = nil
 }
+
+// SetPool attaches a receiver pool for runs whose header arrives marked
+// ot.Pooled. The pool must have been set up over this session's current
+// connection; Reset detaches it.
+func (s *EvaluatorSession) SetPool(p *ot.Pool) { s.pool = p }
 
 // Close releases the plan runner's worker pool, if any.
 func (s *EvaluatorSession) Close() {
@@ -321,11 +377,22 @@ func (s *EvaluatorSession) Run(evalBits []bool) ([]bool, error) {
 		putSlab(bp)
 	}
 	if c.EvaluatorInputs > 0 {
-		got, err := ot.ReceiveBitset(readWriter{s.rd, s.rw}, ot.Protocol(h.OTProto), ot.BitsetFromBools(evalBits))
-		if err != nil {
-			return nil, wrapPeer("OT", err)
+		s.choices.CopyBools(evalBits)
+		evalLabels := s.inputs[c.GarblerInputs : c.GarblerInputs+c.EvaluatorInputs]
+		if ot.Protocol(h.OTProto) == ot.Pooled {
+			if s.pool == nil {
+				return nil, fmt.Errorf("proto: %w: pooled run without a negotiated pool", ErrMalformedFrame)
+			}
+			if err := s.pool.ReceiveDerand(readWriter{s.rd, s.rw}, s.choices, evalLabels); err != nil {
+				return nil, wrapPeer("OT", err)
+			}
+		} else {
+			got, err := ot.ReceiveBitset(readWriter{s.rd, s.rw}, ot.Protocol(h.OTProto), s.choices)
+			if err != nil {
+				return nil, wrapPeer("OT", err)
+			}
+			copy(evalLabels, got)
 		}
-		copy(s.inputs[c.GarblerInputs:], got)
 	}
 
 	var outLabels []label.L

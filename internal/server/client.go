@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -117,6 +118,11 @@ type ClientStats struct {
 	// on its inbound stream — corruption caught before it could become a
 	// silent wrong output.
 	IntegrityFailures uint64
+	// PoolHits counts runs whose evaluator labels came out of the
+	// session's precomputed OT pool; PoolMisses counts pooled-tier runs
+	// that fell back to an on-demand OT; PoolRefills counts completed
+	// refill exchanges (initial fills included).
+	PoolHits, PoolMisses, PoolRefills uint64
 }
 
 // MetricsText renders the counters in Prometheus text exposition
@@ -134,6 +140,9 @@ func (cs ClientStats) MetricsText() string {
 	counter("haac_client_dial_failures_total", "Redial attempts that failed.", cs.DialFailures)
 	counter("haac_client_run_resumes_total", "Broken runs resumed mid-stream instead of replayed in full.", cs.Resumes)
 	counter("haac_client_integrity_failures_total", "Inbound checksummed frames rejected by the integrity tier.", cs.IntegrityFailures)
+	counter("haac_client_pool_hits_total", "Runs served from the precomputed OT pool.", cs.PoolHits)
+	counter("haac_client_pool_misses_total", "Pooled-tier runs that fell back to on-demand OT.", cs.PoolMisses)
+	counter("haac_client_pool_refills_total", "Completed OT-pool refill exchanges.", cs.PoolRefills)
 	return b.String()
 }
 
@@ -183,6 +192,46 @@ type Options struct {
 	// Mirrors the server-side Config.MaxRunBytes on the client's half of
 	// the transfer.
 	MaxRunBytes int64
+	// PoolSize, when positive, requests the precomputed-OT session tier:
+	// the session keeps a pool of about this many random-OT correlations,
+	// filled synchronously at (re)connect and topped up in the background
+	// between runs, so a steady-state Run's online OT is one XOR round
+	// with no base OTs. A run that finds the pool short of its demand
+	// falls back to the on-demand protocol for that run (a PoolMiss). A
+	// server that declines the tier accepts the session unpooled —
+	// check Session.Pooled for the negotiated outcome.
+	PoolSize int
+	// PoolRefill is the background refill chunk (correlations per
+	// opRefill). Default PoolSize/4, minimum 1; larger chunks amortize
+	// the refill round trips, smaller ones shorten the wire lock a
+	// concurrent Run may wait on.
+	PoolRefill int
+	// PoolBase is the base-OT protocol seeding pool fills: ot.DH
+	// (default) or ot.Insecure (needs the server's AllowInsecureOT).
+	PoolBase ot.Protocol
+}
+
+// poolTarget/poolChunk resolve the pool sizing defaults; Options.PoolBase
+// needs no resolver — its zero value is already ot.DH.
+func (o Options) poolTarget() int { return o.PoolSize }
+
+func (o Options) poolChunk() int {
+	if o.PoolRefill > 0 {
+		return o.PoolRefill
+	}
+	if c := o.PoolSize / 4; c > 0 {
+		return c
+	}
+	return 1
+}
+
+// wireOT is the protocol byte the hello carries: ot.Pooled when the
+// options ask for the pooled tier, the on-demand choice otherwise.
+func (o Options) wireOT() ot.Protocol {
+	if o.PoolSize > 0 {
+		return ot.Pooled
+	}
+	return o.OT
 }
 
 // helloFlags encodes the option-negotiation bits of the client hello.
@@ -265,6 +314,19 @@ type Session struct {
 	runToken  uint64
 	hasToken  bool
 
+	// Pooled-tier state. The pool is bound to the current connection's
+	// base-OT exchange, so it is rebuilt from scratch on every
+	// (re)connect; poolCapped remembers a server refusal so the session
+	// stops asking. wireMu serializes the wire between Run/Close and the
+	// background refill goroutine — it is the only concurrency a Session
+	// supports; refilling (guarded by wireMu) keeps that goroutine
+	// singleton.
+	wireMu     sync.Mutex
+	pooled     bool
+	pool       *ot.Pool
+	poolCapped bool
+	refilling  bool
+
 	// Reconnect state; addr == "" means the session was built over a
 	// caller-owned conn (NewSession) and cannot redial.
 	addr  string
@@ -284,27 +346,40 @@ func Dial(addr, circuitID string, c *circuit.Circuit, opts Options) (*Session, e
 	}
 	s := &Session{
 		addr:  addr,
-		hello: hello{ot: opts.OT, flags: helloFlags(opts), id: circuitID, digest: circuit.Digest(c)},
+		hello: hello{ot: opts.wireOT(), flags: helloFlags(opts), id: circuitID, digest: circuit.Digest(c)},
 		opts:  opts,
 		rng:   newJitterRNG(opts.Retry.Seed),
 	}
 	for attempt := 1; ; attempt++ {
 		conn, err := s.connect()
 		if err == nil {
-			es, err2 := proto.NewEvaluatorSession(s.rw, c, proto.Options{
-				OT:        opts.OT,
-				Workers:   opts.Workers,
-				Pipelined: opts.Pipelined && opts.Plan == nil,
-				Plan:      opts.Plan,
-			})
-			if err2 == nil {
-				s.conn, s.es = conn, es
+			if s.es == nil {
+				es, err2 := proto.NewEvaluatorSession(s.rw, c, proto.Options{
+					OT:        opts.OT,
+					Workers:   opts.Workers,
+					Pipelined: opts.Pipelined && opts.Plan == nil,
+					Plan:      opts.Plan,
+				})
+				if err2 != nil {
+					conn.Close()
+					return nil, err2 // a local setup error; retrying cannot help
+				}
+				s.es = es
+			} else {
+				s.es.Reset(s.rw) // a prior attempt's initial fill failed
+			}
+			// The pooled tier pays its base OTs here, at dial time, so
+			// the first Run is already served from the pool.
+			if err = s.initialFill(conn); err == nil {
+				s.conn = conn
 				return s, nil
 			}
 			conn.Close()
-			return nil, err2 // a local setup error; retrying cannot help
 		}
 		if attempt >= opts.Retry.attempts() || !retryable(err) {
+			if s.es != nil {
+				s.es.Close()
+			}
 			return nil, err
 		}
 		time.Sleep(opts.Retry.backoff(attempt, s.rng))
@@ -322,14 +397,15 @@ func NewSession(conn net.Conn, circuitID string, c *circuit.Circuit, opts Option
 	}
 	s := &Session{conn: conn, opts: opts}
 	rw := proto.Instrument(conn, opts.Stats)
-	if err := writeHello(rw, hello{ot: opts.OT, flags: helloFlags(opts), id: circuitID, digest: circuit.Digest(c)}); err != nil {
+	if err := writeHello(rw, hello{ot: opts.wireOT(), flags: helloFlags(opts), id: circuitID, digest: circuit.Digest(c)}); err != nil {
 		return nil, err
 	}
-	numSlots, granted, err := readReply(rw)
+	numSlots, granted, pooled, err := readReply(rw)
 	if err != nil {
 		return nil, err
 	}
 	s.rw = s.wireStack(rw, granted)
+	s.pooled = pooled
 	s.numSlots = int(numSlots)
 	es, err := proto.NewEvaluatorSession(s.rw, c, proto.Options{
 		OT:        opts.OT,
@@ -341,6 +417,10 @@ func NewSession(conn net.Conn, circuitID string, c *circuit.Circuit, opts Option
 		return nil, err
 	}
 	s.es = es
+	if err := s.initialFill(conn); err != nil {
+		es.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -393,7 +473,7 @@ func (s *Session) connect() (net.Conn, error) {
 		conn.Close()
 		return nil, err
 	}
-	numSlots, granted, err := readReply(rw)
+	numSlots, granted, pooled, err := readReply(rw)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -402,6 +482,11 @@ func (s *Session) connect() (net.Conn, error) {
 		conn.SetDeadline(time.Time{})
 	}
 	s.rw = s.wireStack(rw, granted)
+	// Pool state is per-connection: the old pool's correlations derive
+	// from the old connection's base OTs and die with it.
+	s.pooled = pooled
+	s.pool = nil
+	s.poolCapped = false
 	s.numSlots = int(numSlots)
 	return conn, nil
 }
@@ -418,11 +503,136 @@ func (s *Session) reconnect() error {
 		s.stats.DialFailures++
 		return err
 	}
+	s.es.Reset(s.rw) // also detaches the dead connection's pool
+	if err := s.initialFill(conn); err != nil {
+		s.stats.DialFailures++
+		conn.Close()
+		return err
+	}
 	s.conn = conn
-	s.es.Reset(s.rw)
 	s.broken = false
 	s.stats.Reconnects++
 	return nil
+}
+
+// initialFill seeds the pool synchronously right after a (re)connected
+// pooled handshake, bounded by the handshake deadline: the connection's
+// base OTs and first fill are paid at dial time, not inside a run.
+func (s *Session) initialFill(conn net.Conn) error {
+	if !s.pooled || s.opts.poolTarget() <= 0 {
+		return nil
+	}
+	if d := s.opts.Retry.HandshakeTimeout; d > 0 {
+		conn.SetDeadline(time.Now().Add(d))
+		defer conn.SetDeadline(time.Time{})
+	}
+	return s.refillOnce(s.opts.poolTarget())
+}
+
+// refillOnce runs one opRefill exchange over the current connection,
+// creating the receiver pool (and paying its base OTs) on first use. A
+// server refusal (ackRefuse, or a clamped grant) caps the pool and
+// returns nil — the session stays usable, it just stops asking for
+// more.
+func (s *Session) refillOnce(n int) error {
+	if n <= 0 || s.poolCapped {
+		return nil
+	}
+	var req [6]byte
+	req[0] = opRefill
+	req[1] = byte(s.opts.PoolBase)
+	binary.LittleEndian.PutUint32(req[2:], uint32(n))
+	if _, err := s.rw.Write(req[:]); err != nil {
+		return fmt.Errorf("%w: %w", ErrSessionClosed, err)
+	}
+	if _, err := io.ReadFull(s.rw, s.frame[:]); err != nil {
+		return fmt.Errorf("%w: %w", ErrSessionClosed, err)
+	}
+	switch s.frame[0] {
+	case ackGo:
+	case ackRefuse:
+		s.poolCapped = true
+		return nil
+	case ackDraining:
+		return ErrDraining
+	default:
+		return fmt.Errorf("%w: unexpected refill ack byte %d", ErrMalformedFrame, s.frame[0])
+	}
+	var g [4]byte
+	if _, err := io.ReadFull(s.rw, g[:]); err != nil {
+		return fmt.Errorf("%w: %w", ErrSessionClosed, err)
+	}
+	granted := int(binary.LittleEndian.Uint32(g[:]))
+	if granted <= 0 || granted > n {
+		return fmt.Errorf("%w: refill granted %d of %d", ErrMalformedFrame, granted, n)
+	}
+	if granted < n {
+		s.poolCapped = true // the server clamped to its cap
+	}
+	if s.bb != nil {
+		s.bb.reset()
+	}
+	if s.pool == nil {
+		p, err := ot.NewReceiverPool(s.rw, s.opts.PoolBase)
+		if err != nil {
+			return err
+		}
+		s.pool = p
+		s.es.SetPool(p)
+	}
+	if err := s.pool.Fill(s.rw, granted); err != nil {
+		return err
+	}
+	s.stats.PoolRefills++
+	return nil
+}
+
+// maybeRefill starts the background top-up when the pool has fallen
+// below half its target. Called with wireMu held; the goroutine it
+// spawns serializes with Run on wireMu, so refills only touch the wire
+// between runs.
+func (s *Session) maybeRefill() {
+	if !s.pooled || s.pool == nil || s.poolCapped || s.refilling || s.broken || s.closed {
+		return
+	}
+	if s.pool.Level() >= (s.opts.poolTarget()+1)/2 {
+		return
+	}
+	s.refilling = true
+	go s.refillLoop()
+}
+
+// refillLoop tops the pool back up to target, one chunk per wireMu
+// acquisition so a concurrent Run slots in between chunks. A wire error
+// breaks the connection; the next Run heals it, and the reconnect's
+// initial fill rebuilds the pool from scratch.
+func (s *Session) refillLoop() {
+	for {
+		s.wireMu.Lock()
+		if s.closed || s.broken || s.poolCapped || s.pool == nil || s.pool.Level() >= s.opts.poolTarget() {
+			s.refilling = false
+			s.wireMu.Unlock()
+			return
+		}
+		n := s.opts.poolTarget() - s.pool.Level()
+		if c := s.opts.poolChunk(); n > c {
+			n = c
+		}
+		if d := s.opts.Retry.RunTimeout; d > 0 && s.conn != nil {
+			s.conn.SetDeadline(time.Now().Add(d))
+		}
+		err := s.refillOnce(n)
+		if s.opts.Retry.RunTimeout > 0 && s.conn != nil {
+			s.conn.SetDeadline(time.Time{})
+		}
+		if err != nil {
+			s.breakConn()
+			s.refilling = false
+			s.wireMu.Unlock()
+			return
+		}
+		s.wireMu.Unlock()
+	}
 }
 
 // NumSlots reports the slot-arena width of the server's plan for this
@@ -430,7 +640,31 @@ func (s *Session) reconnect() error {
 func (s *Session) NumSlots() int { return s.numSlots }
 
 // Stats returns a snapshot of the session's self-healing counters.
-func (s *Session) Stats() ClientStats { return s.stats }
+func (s *Session) Stats() ClientStats {
+	s.wireMu.Lock()
+	defer s.wireMu.Unlock()
+	return s.stats
+}
+
+// Pooled reports whether the current connection negotiated the
+// precomputed-OT session tier. Like Integrity, it can change across
+// reconnects when a redial lands on a backend with a different policy.
+func (s *Session) Pooled() bool {
+	s.wireMu.Lock()
+	defer s.wireMu.Unlock()
+	return s.pooled
+}
+
+// PoolLevel reports the random-OT correlations currently banked for
+// this session (0 when unpooled or before the first fill).
+func (s *Session) PoolLevel() int {
+	s.wireMu.Lock()
+	defer s.wireMu.Unlock()
+	if s.pool == nil {
+		return 0
+	}
+	return s.pool.Level()
+}
 
 // Integrity reports whether the current connection negotiated the
 // checksummed-frame wire tier. It can change across reconnects when a
@@ -482,6 +716,8 @@ func retryable(err error) bool {
 // refuses with ErrDraining and a dead connection surfaces
 // ErrSessionClosed immediately.
 func (s *Session) Run(evalBits []bool) ([]bool, error) {
+	s.wireMu.Lock()
+	defer s.wireMu.Unlock()
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
@@ -513,6 +749,7 @@ func (s *Session) Run(evalBits []bool) ([]bool, error) {
 		}
 		if err == nil {
 			s.stats.Runs++
+			s.maybeRefill()
 			return out, nil
 		}
 		lastErr = err
@@ -575,6 +812,10 @@ func (s *Session) runOnce(evalBits []bool) ([]bool, error) {
 		s.runToken = binary.LittleEndian.Uint64(tok[:])
 		s.hasToken = true
 	}
+	lvl := 0
+	if s.pool != nil {
+		lvl = s.pool.Level()
+	}
 	out, err := s.es.Run(evalBits)
 	if err != nil {
 		// Whatever broke a run mid-protocol leaves the connection's
@@ -585,6 +826,15 @@ func (s *Session) runOnce(evalBits []bool) ([]bool, error) {
 		}
 		s.breakConn()
 		return nil, err
+	}
+	if s.pooled {
+		// A pooled-tier run either drew its labels from the pool (the
+		// level dropped) or fell back to on-demand OT for this run.
+		if s.pool != nil && s.pool.Level() < lvl {
+			s.stats.PoolHits++
+		} else {
+			s.stats.PoolMisses++
+		}
 	}
 	s.hasToken = false
 	return out, nil
@@ -641,6 +891,8 @@ func (s *Session) resumeOnce(got int) ([]bool, error) {
 // connection already failed returns ErrSessionClosed without touching
 // the dead transport.
 func (s *Session) Close() error {
+	s.wireMu.Lock()
+	defer s.wireMu.Unlock()
 	if s.closed {
 		return nil
 	}

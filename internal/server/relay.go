@@ -66,6 +66,10 @@ type ReplyFrame struct {
 	// — and every checksummed frame after it — traverses the proxy as
 	// opaque spliced bytes.
 	Integrity bool
+	// Pooled reports whether the backend granted the precomputed-OT
+	// session tier. Like integrity, the tier is end-to-end: refill ops
+	// and derandomized transfers traverse a relay as spliced bytes.
+	Pooled bool
 	// Err is the typed refusal (ErrBusy, ErrDraining, ErrUnknownCircuit,
 	// ErrDigestMismatch, ErrBadVersion, ErrBadRequest, ErrOverBudget,
 	// ErrInternal) on a refusing reply, nil on an accepting one.
@@ -83,11 +87,12 @@ func (rf ReplyFrame) OK() bool { return rf.Err == nil }
 func ReadReplyFrame(r io.Reader) (ReplyFrame, error) {
 	var rf ReplyFrame
 	var raw bytes.Buffer
-	numSlots, integrity, err := readReply(io.TeeReader(r, &raw))
+	numSlots, integrity, pooled, err := readReply(io.TeeReader(r, &raw))
 	rf.Raw = raw.Bytes()
 	if err == nil {
 		rf.NumSlots = numSlots
 		rf.Integrity = integrity
+		rf.Pooled = pooled
 		return rf, nil
 	}
 	for _, refusal := range []error{

@@ -91,6 +91,19 @@ type Config struct {
 	// handshake, and a run that crosses it mid-stream errors out (typed
 	// ErrOverBudget, counted in Stats.RunsOverBudget).
 	MaxRunBytes int64
+	// DisablePooledOT declines the precomputed-OT session tier even when
+	// a client requests ot.Pooled in its hello; sessions then run every
+	// OT on demand. Pooled-requesting clients fall back transparently —
+	// the server accepts with plain statusOK and the client never sends
+	// a refill.
+	DisablePooledOT bool
+	// MaxPoolSize caps the per-session OT pool: an opRefill that would
+	// grow the pool past this many correlations is clamped to the
+	// remaining headroom (or refused outright when there is none). Each
+	// pooled correlation holds two 16-byte labels server-side, so the
+	// cap bounds per-session memory at roughly 32*MaxPoolSize bytes.
+	// 0 means the 65536 default.
+	MaxPoolSize int
 	// TLS, when non-nil, wraps every listener passed to Serve so the
 	// session wire (handshake and the 2PC byte stream) runs over TLS.
 	// The ops sidecar is unaffected — it is plain HTTP meant to be
@@ -101,6 +114,10 @@ type Config struct {
 
 // defaultDrainTimeout bounds Close when Config.DrainTimeout is zero.
 const defaultDrainTimeout = 30 * time.Second
+
+// defaultMaxPoolSize caps per-session OT pools when Config.MaxPoolSize
+// is zero: 65536 correlations ≈ 2 MiB of sender-side label state.
+const defaultMaxPoolSize = 1 << 16
 
 // Stats is a point-in-time snapshot of a server's counters.
 type Stats struct {
@@ -144,6 +161,12 @@ type Stats struct {
 	// MaxCircuitBytes/MaxRunBytes budgets; RunsOverBudget counts runs
 	// that crossed MaxRunBytes mid-stream.
 	SessionsOverBudget, RunsOverBudget uint64
+	// PoolHits counts pooled-tier runs whose evaluator labels came out
+	// of the session's precomputed OT pool — no base OT, one XOR round
+	// online. PoolMisses counts pooled-tier runs that fell back to an
+	// on-demand OT (pool empty or below the run's demand); PoolRefills
+	// counts completed opRefill fills.
+	PoolHits, PoolMisses, PoolRefills uint64
 }
 
 // registered is a servable circuit plus its per-circuit runner pool.
@@ -236,6 +259,9 @@ type Server struct {
 	sessionsPanicked  atomic.Uint64
 	sessionsOverBdgt  atomic.Uint64
 	runsOverBudget    atomic.Uint64
+	poolHits          atomic.Uint64
+	poolMisses        atomic.Uint64
+	poolRefills       atomic.Uint64
 
 	resume resumeStore // broken-run checkpoints, keyed by opaque token
 }
@@ -342,6 +368,9 @@ func (s *Server) Stats() Stats {
 		SessionsPanicked:   s.sessionsPanicked.Load(),
 		SessionsOverBudget: s.sessionsOverBdgt.Load(),
 		RunsOverBudget:     s.runsOverBudget.Load(),
+		PoolHits:           s.poolHits.Load(),
+		PoolMisses:         s.poolMisses.Load(),
+		PoolRefills:        s.poolRefills.Load(),
 	}
 }
 
@@ -648,14 +677,33 @@ func (s *Server) handle(st *session) {
 		srw = fr
 	}
 
-	gs, err := s.garblerFor(reg, plan, srw, h.ot)
+	// The pooled tier, like integrity, degrades transparently: a server
+	// configured without it accepts the session with plain statusOK and
+	// the client simply never sends a refill. Pooled sessions still need
+	// a concrete on-demand protocol for miss runs — the garbler picks it
+	// per circuit (IKNP amortizes past its base-OT cost only when the
+	// evaluator input vector is wide enough to matter).
+	pooled := h.ot == ot.Pooled && !s.cfg.DisablePooledOT
+	otp := h.ot
+	if h.ot == ot.Pooled {
+		otp = ot.DH
+		if reg.spec.Circuit.EvaluatorInputs > 128 {
+			otp = ot.IKNP
+		}
+	}
+	gs, err := s.garblerFor(reg, plan, srw, otp)
 	if err != nil {
 		reply(rw, statusBadRequest, 0, err.Error())
 		return
 	}
 	defer reg.putRunner(gs)
 	okStatus := uint8(statusOK)
-	if integrity {
+	switch {
+	case pooled && integrity:
+		okStatus = statusOKPooledIntegrity
+	case pooled:
+		okStatus = statusOKPooled
+	case integrity:
 		okStatus = statusOKIntegrity
 	}
 	if err := reply(rw, okStatus, uint32(plan.NumSlots), ""); err != nil {
@@ -663,6 +711,7 @@ func (s *Server) handle(st *session) {
 	}
 	conn.SetDeadline(time.Time{})
 
+	var pool *ot.Pool
 	var frame [1]byte
 	for {
 		if !s.setIdle(st, true) {
@@ -670,7 +719,7 @@ func (s *Server) handle(st *session) {
 		}
 		_, err := io.ReadFull(srw, frame[:])
 		s.setIdle(st, false)
-		if err != nil || (frame[0] != opRun && frame[0] != opResume) {
+		if err != nil || (frame[0] != opRun && frame[0] != opResume && frame[0] != opRefill) {
 			return // opBye, garbage, or a dead/force-closed connection
 		}
 		if s.isDraining() {
@@ -682,6 +731,14 @@ func (s *Server) handle(st *session) {
 			// Resume frames only exist on the integrity tier; on the
 			// legacy wire the byte is garbage.
 			if fr == nil || !s.serveResume(conn, srw, gs, bb, h.id) {
+				return
+			}
+			continue
+		}
+		if frame[0] == opRefill {
+			// Refill frames only exist on the pooled tier; elsewhere the
+			// byte is garbage.
+			if !pooled || !s.serveRefill(conn, srw, gs, bb, &pool) {
 				return
 			}
 			continue
@@ -733,6 +790,13 @@ func (s *Server) handle(st *session) {
 		}
 		if fr != nil {
 			s.resume.drop(token)
+		}
+		if pooled {
+			if gs.LastRunPooled() {
+				s.poolHits.Add(1)
+			} else {
+				s.poolMisses.Add(1)
+			}
 		}
 		s.runs.Add(1)
 		s.runNanos.Add(uint64(time.Since(start)))
@@ -792,6 +856,69 @@ func (s *Server) serveResume(conn net.Conn, srw io.ReadWriter, gs *proto.Garbler
 	s.runsResumed.Add(1)
 	s.runs.Add(1)
 	s.runNanos.Add(uint64(time.Since(start)))
+	return true
+}
+
+// serveRefill answers one opRefill frame: validate the requested base
+// protocol and count, clamp the count to the pool's MaxPoolSize
+// headroom, then run one lockstep ot.Pool fill — creating the session's
+// sender pool (and paying its base OTs) on first use. A refusal
+// (ackRefuse) leaves the session usable; returns false when the session
+// must end.
+func (s *Server) serveRefill(conn net.Conn, srw io.ReadWriter, gs *proto.GarblerSession, bb *byteBudget, pool **ot.Pool) bool {
+	var req [5]byte // base u8 | n u32 LE
+	if _, err := io.ReadFull(srw, req[:]); err != nil {
+		return false
+	}
+	base := ot.Protocol(req[0])
+	n := int(binary.LittleEndian.Uint32(req[1:]))
+	max := s.cfg.MaxPoolSize
+	if max <= 0 {
+		max = defaultMaxPoolSize
+	}
+	level := 0
+	if *pool != nil {
+		level = (*pool).Level()
+	}
+	granted := n
+	if level+granted > max {
+		granted = max - level
+	}
+	badBase := base != ot.DH && !(base == ot.Insecure && s.cfg.AllowInsecureOT)
+	if badBase || n <= 0 || granted <= 0 {
+		var ack [1]byte
+		ack[0] = ackRefuse
+		_, err := srw.Write(ack[:])
+		return err == nil
+	}
+	var ack [5]byte
+	ack[0] = ackGo
+	binary.LittleEndian.PutUint32(ack[1:], uint32(granted))
+	if _, err := srw.Write(ack[:]); err != nil {
+		return false
+	}
+	// The fill is bounded like a run: same deadline, fresh byte budget.
+	if rt := s.cfg.RunTimeout; rt > 0 {
+		conn.SetDeadline(time.Now().Add(rt))
+	}
+	if bb != nil {
+		bb.reset()
+	}
+	if *pool == nil {
+		p, err := ot.NewSenderPool(srw, base)
+		if err != nil {
+			return false
+		}
+		*pool = p
+		gs.SetPool(p)
+	}
+	if err := (*pool).Fill(srw, granted); err != nil {
+		return false
+	}
+	if s.cfg.RunTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	s.poolRefills.Add(1)
 	return true
 }
 

@@ -217,7 +217,7 @@ func TestHandshakeRefusals(t *testing.T) {
 	if _, err := conn.Write(raw); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := readReply(conn); !errors.Is(err, ErrBadVersion) {
+	if _, _, _, err := readReply(conn); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("bad version: got %v, want ErrBadVersion", err)
 	}
 
@@ -230,7 +230,7 @@ func TestHandshakeRefusals(t *testing.T) {
 	if _, err := conn2.Write(make([]byte, 64)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := readReply(conn2); !errors.Is(err, ErrBadRequest) {
+	if _, _, _, err := readReply(conn2); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("bad magic: got %v, want ErrBadRequest", err)
 	}
 }

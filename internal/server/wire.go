@@ -13,6 +13,18 @@
 //	                         | err: msgLen u16 | message
 //	per run:       op u8 (run/bye, client) | ack u8 (go/draining, server)
 //	               | <proto run stream, unchanged>
+//	pool refill:   op u8 (refill) | base u8 | n u32 LE (client)
+//	               | ack u8 (go/refuse/draining, server)
+//	               | go: granted u32 LE | <ot.Pool fill stream>
+//
+// A client that sets the hello's ot byte to ot.Pooled asks for the
+// precomputed-OT session tier: the server accepts with statusOKPooled
+// (or statusOKPooledIntegrity when the integrity flag is also granted)
+// and the session gains the opRefill op, which runs one lockstep
+// ot.Pool fill of n correlations using the requested base protocol.
+// Runs then consume the pool when it holds enough correlations and fall
+// back to an on-demand OT — chosen per run by the garbler via the run
+// header's OT byte — when it does not.
 //
 // The digest binds the session to a structurally identical circuit on
 // both sides (circuit.Digest), so a mismatched client fails typed at
@@ -63,6 +75,14 @@ const (
 	// The frame is op u8 | token u64 | got u64 (the run token issued with
 	// the ack and the count of tables the client holds verified).
 	opResume = 3
+	// opRefill asks the server to run one lockstep OT-pool fill; pooled
+	// tier only. The frame is op u8 | base u8 (the ot.Protocol seeding
+	// the pool's base OTs) | n u32 LE (correlations to add). The server
+	// answers ackGo followed by granted u32 LE — the count both sides
+	// then Fill in lockstep, clamped to Config.MaxPoolSize headroom — or
+	// refuses with ackRefuse (bad base, zero n, or a pool already at its
+	// cap), leaving the session usable.
+	opRefill = 4
 
 	ackGo       = 0
 	ackDraining = 1
@@ -71,6 +91,10 @@ const (
 	// the client falls back to a full replay on the same connection.
 	ackResume   = 2
 	ackNoResume = 3
+	// ackRefuse declines an opRefill without ending the session: the
+	// client keeps running (pooled when its level allows, on-demand
+	// otherwise) but should stop asking for what was refused.
+	ackRefuse = 4
 
 	statusOK             = 0
 	statusUnknownCircuit = 1
@@ -89,6 +113,12 @@ const (
 	// statusInternal refuses a session whose setup raised a contained
 	// panic.
 	statusInternal = 9
+	// statusOKPooled accepts a session that asked for ot.Pooled in its
+	// hello: same 5-byte accept frame as statusOK, and the session gains
+	// the opRefill op. statusOKPooledIntegrity additionally grants the
+	// checksummed-frame tier (the pooled analogue of statusOKIntegrity).
+	statusOKPooled          = 10
+	statusOKPooledIntegrity = 11
 )
 
 // Typed session errors. Handshake failures map one status each;
@@ -163,7 +193,7 @@ func readHello(r io.Reader) (h hello, status uint8, err error) {
 	h.ot = ot.Protocol(fixed[5])
 	h.flags = fixed[6]
 	switch h.ot {
-	case ot.DH, ot.Insecure, ot.IKNP:
+	case ot.DH, ot.Insecure, ot.IKNP, ot.Pooled:
 	default:
 		return h, statusBadRequest, nil
 	}
@@ -180,10 +210,20 @@ func readHello(r io.Reader) (h hello, status uint8, err error) {
 	return h, statusOK, nil
 }
 
+// okStatus reports whether a status byte accepts the session (all OK
+// variants share the 5-byte accept frame).
+func okStatus(status uint8) bool {
+	switch status {
+	case statusOK, statusOKIntegrity, statusOKPooled, statusOKPooledIntegrity:
+		return true
+	}
+	return false
+}
+
 // writeReply sends the server's handshake verdict: numSlots on success,
 // a status and message otherwise.
 func writeReply(w io.Writer, status uint8, numSlots uint32, msg string) error {
-	if status == statusOK || status == statusOKIntegrity {
+	if okStatus(status) {
 		var buf [5]byte
 		buf[0] = status
 		binary.LittleEndian.PutUint32(buf[1:], numSlots)
@@ -203,37 +243,40 @@ func writeReply(w io.Writer, status uint8, numSlots uint32, msg string) error {
 
 // readReply consumes the server's handshake verdict, mapping refusal
 // statuses to the package's typed errors. integrity reports whether the
-// server granted the checksummed-frame wire tier.
-func readReply(r io.Reader) (numSlots uint32, integrity bool, err error) {
+// server granted the checksummed-frame wire tier; pooled whether it
+// granted the precomputed-OT session tier.
+func readReply(r io.Reader) (numSlots uint32, integrity, pooled bool, err error) {
 	var b [5]byte
 	if _, err := io.ReadFull(r, b[:1]); err != nil {
-		return 0, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+		return 0, false, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 	}
-	if b[0] == statusOK || b[0] == statusOKIntegrity {
+	if okStatus(b[0]) {
 		if _, err := io.ReadFull(r, b[1:5]); err != nil {
-			return 0, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+			return 0, false, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 		}
-		return binary.LittleEndian.Uint32(b[1:5]), b[0] == statusOKIntegrity, nil
+		integrity = b[0] == statusOKIntegrity || b[0] == statusOKPooledIntegrity
+		pooled = b[0] == statusOKPooled || b[0] == statusOKPooledIntegrity
+		return binary.LittleEndian.Uint32(b[1:5]), integrity, pooled, nil
 	}
 	status := b[0]
 	if _, err := io.ReadFull(r, b[1:3]); err != nil {
-		return 0, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+		return 0, false, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 	}
 	// Bound the wire-controlled length before allocating: a corrupt or
 	// hostile reply must not be able to demand an arbitrary buffer.
 	msgLen := int(binary.LittleEndian.Uint16(b[1:3]))
 	if msgLen > maxStatusMsgLen {
-		return 0, false, fmt.Errorf("%w: refusal message length %d exceeds %d", ErrMalformedFrame, msgLen, maxStatusMsgLen)
+		return 0, false, false, fmt.Errorf("%w: refusal message length %d exceeds %d", ErrMalformedFrame, msgLen, maxStatusMsgLen)
 	}
 	msg := make([]byte, msgLen)
 	if _, err := io.ReadFull(r, msg); err != nil {
-		return 0, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
+		return 0, false, false, fmt.Errorf("%w: reading handshake reply: %v", ErrSessionClosed, err)
 	}
 	base := statusErr(status)
 	if len(msg) > 0 {
-		return 0, false, fmt.Errorf("%w: %s", base, msg)
+		return 0, false, false, fmt.Errorf("%w: %s", base, msg)
 	}
-	return 0, false, base
+	return 0, false, false, base
 }
 
 // statusErr maps a refusal status byte to its sentinel error.

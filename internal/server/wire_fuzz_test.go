@@ -41,7 +41,7 @@ func FuzzReadHello(f *testing.F) {
 			t.Fatalf("accepted hello with id length %d outside 1..%d", len(h.id), maxIDLen)
 		}
 		switch h.ot {
-		case ot.DH, ot.Insecure, ot.IKNP:
+		case ot.DH, ot.Insecure, ot.IKNP, ot.Pooled:
 		default:
 			t.Fatalf("accepted hello with unknown OT protocol %d", h.ot)
 		}
@@ -68,16 +68,20 @@ func FuzzReadStatus(f *testing.F) {
 	var ok bytes.Buffer
 	writeReply(&ok, statusOK, 96, "")
 	f.Add(ok.Bytes())
+	var pooled bytes.Buffer
+	writeReply(&pooled, statusOKPooled, 96, "")
+	f.Add(pooled.Bytes())
 	var refused bytes.Buffer
 	writeReply(&refused, statusDraining, 0, "server is draining")
 	f.Add(refused.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{statusOK})                            // truncated numSlots
+	f.Add([]byte{statusOKPooledIntegrity})             // truncated numSlots, pooled tier
 	f.Add([]byte{statusBusy, 0xff, 0xff})              // msgLen 65535, no body
 	f.Add([]byte{200, 0x04, 0x00, 'o', 'o', 'p', 's'}) // unknown status
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _, err := readReply(bytes.NewReader(data))
+		_, _, _, err := readReply(bytes.NewReader(data))
 		if err == nil {
 			return
 		}
